@@ -1,0 +1,63 @@
+"""Compile-time comparison (the paper's section 5 'Compilation time').
+
+The paper argues [CC3]: handling coalescing during the out-of-SSA
+translation is cheaper than generating naive moves and cleaning them up
+with repeated register coalescing, whose "complexity is proportional to
+the number of move instructions in the program".  The authors could not
+publish timings ("our implementation is too experimental"); we can:
+these benchmarks time the two strategies on the same suites with
+pytest-benchmark's real clock.
+
+``ours``      SSA -> pins -> pinningφ -> reconstruction -> cleanup
+``naive+C``   SSA -> reconstruction -> naiveABI -> cleanup
+"""
+
+import pytest
+
+from repro.pipeline import run_experiment
+
+SUITE_NAMES = ("VALcc1", "LAI_Large", "SPECint")
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_time_ours(benchmark, suites, suite_name):
+    suite = suites[suite_name]
+    benchmark.pedantic(run_experiment, args=(suite.module, "Lphi,ABI+C"),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_time_naive_plus_cleanup(benchmark, suites, suite_name):
+    suite = suites[suite_name]
+    benchmark.pedantic(run_experiment, args=(suite.module, "naiveABI+C"),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_time_coalescing_phase_only(benchmark, suites, suite_name):
+    """Isolate pinningφ itself: the part the paper adds to collect."""
+    from repro.machine.constraints import pinning_abi, pinning_sp
+    from repro.outofssa import coalesce_phis
+    from repro.pipeline import ensure_ssa
+    from repro.ssa import optimize_ssa
+
+    suite = suites[suite_name]
+
+    def prepare():
+        module = suite.module.copy()
+        for f in module.iter_functions():
+            ensure_ssa(f)
+            optimize_ssa(f)
+            pinning_sp(f)
+            pinning_abi(f)
+        return module
+
+    prepared = prepare()
+
+    def phase():
+        module = prepared.copy()
+        for f in module.iter_functions():
+            coalesce_phis(f)
+        return module
+
+    benchmark.pedantic(phase, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,91 @@
+"""Figure-by-figure reproduction benchmarks.
+
+Every qualitative claim drawn in the paper's figures is re-measured:
+
+========  =============================================================
+figure    claim
+========  =============================================================
+Fig. 1    ABI + 2-operand pinning lowers to exactly one residual move
+Fig. 3    kills are repaired; the pinned call argument needs no move
+Fig. 5    pinning only the non-interfering argument gives one copy
+Fig. 8    [CC1] the pinning mechanism can coalesce a variable with a
+          dedicated register *partially* (repair beats two edge copies)
+Fig. 9    [CS1] joint optimization: 1 move vs Sreedhar's 2
+Fig. 10   [CS2] parallel copies: swap in 3 moves vs Sreedhar's 4
+Fig. 11   [CS3] ABI-aware choice: no worse than ABI-blind Sreedhar
+Fig. 12   [LIM2] repair variables cost a known extra move
+========  =============================================================
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.benchgen.figures import ALL_FIGURES
+from repro.pipeline import run_experiment
+
+TABLE = "figures"
+COMPARISONS = ("Lphi,ABI+C", "Sphi+LABI+C", "LABI+C", "Lphi,ABI", "Sphi")
+
+
+@pytest.mark.parametrize("figure", sorted(ALL_FIGURES))
+@pytest.mark.parametrize("experiment", COMPARISONS)
+def test_figures(benchmark, collector, figure, experiment):
+    module, verify = ALL_FIGURES[figure]()
+    result = run_once(benchmark, run_experiment, module, experiment,
+                      verify=verify)
+    collector.record(TABLE, figure, experiment, result.moves)
+
+
+def test_fig9_claim(benchmark, collector):
+    module, verify = ALL_FIGURES["fig9"]()
+    ours = run_once(benchmark, run_experiment, module, "Lphi+C",
+                    verify=verify).moves
+    sreedhar = run_experiment(module, "Sphi+C", verify=verify).moves
+    collector.record(TABLE, "fig9-claim", "ours", ours)
+    collector.record(TABLE, "fig9-claim", "sreedhar", sreedhar)
+    assert (ours, sreedhar) == (1, 2)
+
+
+def test_fig10_claim(benchmark, collector):
+    module, verify = ALL_FIGURES["fig10"]()
+    ours = run_once(benchmark, run_experiment, module, "Lphi+C",
+                    verify=verify).moves
+    sreedhar = run_experiment(module, "Sphi+C", verify=verify).moves
+    collector.record(TABLE, "fig10-claim", "ours", ours)
+    collector.record(TABLE, "fig10-claim", "sreedhar", sreedhar)
+    assert (ours, sreedhar) == (3, 4)
+
+
+def test_fig8_partial_coalescing(benchmark, collector):
+    """[CC1]: pin z into R0 manually; one repair replaces two copies."""
+    from repro.ir.types import PhysReg, Var
+    from repro.machine.constraints import pinning_abi, pinning_sp
+    from repro.outofssa import out_of_pinned_ssa
+    from repro.pipeline import ensure_ssa
+    from repro.ssa import pin_definition
+
+    def partial():
+        module, _ = ALL_FIGURES["fig8"]()
+        f = module.function("fig8")
+        ensure_ssa(f)
+        pinning_sp(f)
+        pinning_abi(f)
+        pin_definition(f, Var("z"), PhysReg("R0"))
+        return out_of_pinned_ssa(f)
+
+    stats = run_once(benchmark, partial)
+    collector.record(TABLE, "fig8-partial", "repairs", stats.repair_copies)
+    collector.record(TABLE, "fig8-partial", "coalesced",
+                     stats.coalesced_edges)
+    assert stats.repair_copies >= 1
+    assert stats.coalesced_edges >= 2
+
+
+def test_figures_report(benchmark, collector, capsys):
+    run_once(benchmark, lambda: None)
+    if TABLE not in collector.tables:
+        pytest.skip("run with --benchmark-only to fill the table")
+    with capsys.disabled():
+        print()
+        print(collector.render(TABLE, baseline="Lphi,ABI+C"))
+    collector.save(TABLE)

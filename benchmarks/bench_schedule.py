@@ -1,0 +1,55 @@
+"""Local scheduling after out-of-SSA (the next LAO phase downstream).
+
+The paper positions its contribution "before instruction scheduling and
+register allocation" (section 6): fewer moves leave the scheduler less
+serial glue to place.  This bench schedules every block of each
+strategy's output and reports the summed block makespans under the
+single-issue latency model -- the coalesced pipelines should never
+schedule worse.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.pipeline import run_experiment
+from repro.schedule import schedule_function
+
+TABLE = "schedule"
+SUITE_NAMES = ("VALcc1", "LAI_Large")
+EXPERIMENTS = ("Lphi,ABI+C", "LABI+C", "naiveABI+C")
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+@pytest.mark.parametrize("experiment", EXPERIMENTS)
+def test_schedule_makespan(benchmark, suites, collector, suite_name,
+                           experiment):
+    suite = suites[suite_name]
+
+    def pipeline():
+        result = run_experiment(suite.module, experiment)
+        before = after = 0
+        for function in result.module.iter_functions():
+            for b, a in schedule_function(function).values():
+                before += b
+                after += a
+        return before, after
+
+    before, after = run_once(benchmark, pipeline)
+    collector.record(TABLE, suite_name, experiment, after)
+    collector.record(TABLE, f"{suite_name}-unscheduled", experiment, before)
+    assert after <= before
+
+
+def test_schedule_report(benchmark, collector, capsys):
+    run_once(benchmark, lambda: None)
+    if TABLE not in collector.tables:
+        pytest.skip("run with --benchmark-only to fill the table")
+    rows = collector.tables[TABLE]
+    for suite_name in SUITE_NAMES:
+        values = rows.get(suite_name, {})
+        if len(values) == len(EXPERIMENTS):
+            assert values["Lphi,ABI+C"] <= values["naiveABI+C"]
+    with capsys.disabled():
+        print()
+        print(collector.render(TABLE, baseline="Lphi,ABI+C"))
+    collector.save(TABLE)

@@ -1,0 +1,66 @@
+"""Paper Table 1: the experiment/phase matrix.
+
+Not a measurement -- the reproduction of the configuration table itself:
+every experiment of Tables 2-4 maps to the exact phase set the paper
+lists (its bullet matrix), and this bench prints it.
+"""
+
+from repro.pipeline import EXPERIMENTS, TABLE_EXPERIMENTS
+
+ALL_PHASES = ["ssa", "copyprop", "sreedhar", "pinningSP", "pinningABI",
+              "pinningPhi", "out-of-pinned-ssa", "naiveABI", "coalescing"]
+
+#: The bullet matrix exactly as printed in the paper (Table 1), keyed by
+#: our experiment names.  ``ssa``/``copyprop`` are shared preprocessing.
+PAPER_MATRIX = {
+    "Lphi+C": {"pinningSP", "pinningPhi", "out-of-pinned-ssa",
+               "coalescing"},
+    "C": {"pinningSP", "out-of-pinned-ssa", "coalescing"},
+    "Sphi+C": {"sreedhar", "pinningSP", "out-of-pinned-ssa", "coalescing"},
+    "Lphi,ABI+C": {"pinningSP", "pinningABI", "pinningPhi",
+                   "out-of-pinned-ssa", "coalescing"},
+    "Sphi+LABI+C": {"sreedhar", "pinningSP", "pinningABI",
+                    "out-of-pinned-ssa", "coalescing"},
+    "LABI+C": {"pinningSP", "pinningABI", "out-of-pinned-ssa",
+               "coalescing"},
+    "naiveABI+C": {"pinningSP", "out-of-pinned-ssa", "naiveABI",
+                   "coalescing"},
+    "Lphi,ABI": {"pinningSP", "pinningABI", "pinningPhi",
+                 "out-of-pinned-ssa"},
+    "Sphi": {"sreedhar", "pinningSP", "out-of-pinned-ssa", "naiveABI"},
+    "LABI": {"pinningSP", "pinningABI", "out-of-pinned-ssa"},
+}
+
+
+def test_matrix_matches_paper(benchmark):
+    def check():
+        for name, expected in PAPER_MATRIX.items():
+            actual = set(EXPERIMENTS[name]) - {"ssa", "copyprop"}
+            assert actual == expected, (name, actual, expected)
+        return len(PAPER_MATRIX)
+
+    from conftest import run_once
+
+    assert run_once(benchmark, check) == 10
+
+
+def test_print_matrix(benchmark, capsys):
+    def render():
+        width = max(len(p) for p in ALL_PHASES) + 2
+        lines = ["", "=== Table 1: implemented experiment matrix ==="]
+        lines.append("experiment".ljust(14)
+                     + "".join(p.rjust(width) for p in ALL_PHASES))
+        for name, phases in EXPERIMENTS.items():
+            row = name.ljust(14)
+            for phase in ALL_PHASES:
+                row += ("*" if phase in phases else ".").rjust(width)
+            lines.append(row)
+        for table, exps in TABLE_EXPERIMENTS.items():
+            lines.append(f"{table}: {', '.join(exps)}")
+        return "\n".join(lines)
+
+    from conftest import run_once
+
+    text = run_once(benchmark, render)
+    with capsys.disabled():
+        print(text)

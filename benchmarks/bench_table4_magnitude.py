@@ -1,0 +1,45 @@
+"""Paper Table 4: order-of-magnitude counts *before* any late
+coalescing -- the compile-time argument [CC3].
+
+``Lφ,ABI`` (everything handled during out-of-SSA) leaves few moves;
+``Sφ`` leaves all naive *ABI* moves; ``LABI`` leaves all naive *phi*
+moves.  Because the late repeated-coalescing pass's cost "is
+proportional to the number of move instructions in the program", these
+counts bound the cleanup work each configuration pays.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.pipeline import run_experiment
+
+TABLE = "table4"
+EXPERIMENTS = ("Lphi,ABI", "Sphi", "LABI")
+SUITE_NAMES = ("VALcc1", "VALcc2", "example1-8", "LAI_Large", "SPECint")
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+@pytest.mark.parametrize("experiment", EXPERIMENTS)
+def test_table4(benchmark, suites, collector, suite_name, experiment):
+    suite = suites[suite_name]
+    result = run_once(benchmark, run_experiment, suite.module, experiment)
+    collector.record(TABLE, suite_name, experiment, result.moves)
+
+
+def test_table4_report(benchmark, suites, collector, capsys):
+    run_once(benchmark, lambda: None)
+    rows = collector.tables.get(TABLE, {})
+    for suite_name in SUITE_NAMES:
+        values = rows.get(suite_name, {})
+        if len(values) != len(EXPERIMENTS):
+            pytest.skip("run with --benchmark-only to fill the table")
+        ours = values["Lphi,ABI"]
+        assert ours <= values["Sphi"], suite_name
+        assert ours <= values["LABI"], suite_name
+    with capsys.disabled():
+        print()
+        print(collector.render(TABLE, baseline="Lphi,ABI"))
+        print("paper (Table 4): VALcc1 277/+593/+690  VALcc2 245/+926/+749"
+              "  example1-8 16/+38/+34  LAI_Large 1447/+4543/+6161  "
+              "SPECint 36882/+249481/+260095")
+    collector.save(TABLE)

@@ -1,0 +1,52 @@
+"""Static 5^depth weights vs measured execution counts.
+
+Table 5's weighting is "a static approximation where each loop would
+contain 5 iterations".  With the reference interpreter we can compare
+the approximation against ground truth: for each suite, rank the four
+with-ABI pipelines by (a) the static weighted count and (b) the dynamic
+move-execution count over the verify runs, and report both.  The
+reproduction claim: the static metric induces the same ranking.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.pipeline import run_experiment
+from repro.profile import dynamic_weighted_moves
+
+TABLE = "weights"
+SUITE_NAMES = ("VALcc1", "LAI_Large")
+EXPERIMENTS = ("Lphi,ABI+C", "Sphi+LABI+C", "LABI+C", "naiveABI+C")
+
+
+@pytest.mark.parametrize("suite_name", SUITE_NAMES)
+def test_static_vs_dynamic(benchmark, suites, collector, suite_name):
+    suite = suites[suite_name]
+
+    def measure():
+        rows = {}
+        for experiment in EXPERIMENTS:
+            result = run_experiment(suite.module, experiment)
+            dynamic = dynamic_weighted_moves(result.module, suite.verify)
+            rows[experiment] = (result.weighted, dynamic)
+        return rows
+
+    rows = run_once(benchmark, measure)
+    for experiment, (static, dynamic) in rows.items():
+        collector.record(TABLE, f"{suite_name}-static", experiment, static)
+        collector.record(TABLE, f"{suite_name}-dynamic", experiment,
+                         dynamic)
+    # Ranking agreement between the approximation and the measurement.
+    static_rank = sorted(EXPERIMENTS, key=lambda e: rows[e][0])
+    dynamic_rank = sorted(EXPERIMENTS, key=lambda e: rows[e][1])
+    assert static_rank[0] == dynamic_rank[0] == "Lphi,ABI+C"
+
+
+def test_weights_report(benchmark, collector, capsys):
+    run_once(benchmark, lambda: None)
+    if TABLE not in collector.tables:
+        pytest.skip("run with --benchmark-only to fill the table")
+    with capsys.disabled():
+        print()
+        print(collector.render(TABLE, baseline="Lphi,ABI+C"))
+    collector.save(TABLE)

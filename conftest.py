@@ -1,0 +1,13 @@
+"""Repo-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run even
+without an editable install (the CI container has no network for
+``pip install -e .`` build isolation).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Domain scenario: an ST120-style DSP code generator's back half.
+
+The paper's motivating workload: DSP kernels (here a FIR filter and a
+multiply-accumulate dot product) written against a machine with
+dedicated registers, ABI parameter rules and destructive 2-operand
+instructions (``autoadd``, ``mac``).  The script
+
+1. builds the kernels programmatically with the FunctionBuilder API
+   (the route a real code generator would take),
+2. runs the out-of-SSA pipeline with and without the phi coalescer,
+3. reports static and 5^depth-weighted move counts -- the weighted
+   metric is what matters in a DSP inner loop.
+
+Run:  python examples/dsp_pipeline.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.interp import run_module
+from repro.ir import FunctionBuilder, Module, format_function
+from repro.pipeline import run_experiment
+
+
+def build_fir(taps: list[int]) -> "FunctionBuilder":
+    """FIR filter: y[j] = sum taps[k] * x[j-k], arrays self-initialized."""
+    b = FunctionBuilder("fir")
+    b.block("entry")
+    n, seed = b.inputs("n", "seed")
+    b.emit("make", "i", 0)
+    b.br("fill_head")
+
+    b.block("fill_head")
+    b.emit("cmplt", "fc", "i", n)
+    b.cbr("fc", "fill_body", "main_init")
+    b.block("fill_body")
+    b.emit("mul", "v", "i", seed)
+    b.emit("and", "v2", "v", 255)
+    b.store("i", "v2", offset=1000)
+    b.emit("add", "i", "i", 1)
+    b.br("fill_head")
+
+    b.block("main_init")
+    b.emit("make", "acc", 0)
+    b.emit("make", "j", len(taps) - 1)
+    b.br("head")
+
+    b.block("head")
+    b.emit("cmplt", "c", "j", n)
+    b.cbr("c", "body", "out")
+    b.block("body")
+    for k, coeff in enumerate(taps):
+        b.emit("sub", f"idx{k}", "j", k)
+        b.load(f"x{k}", f"idx{k}", offset=1000)
+        # multiply-accumulate: destructive first operand (2-op tie)
+        b.emit("mac", "acc", "acc", f"x{k}", coeff)
+    b.emit("autoadd", "j", "j", 1)
+    b.br("head")
+
+    b.block("out")
+    b.ret("acc")
+    return b
+
+
+def main() -> None:
+    module = Module("dsp")
+    module.add_function(build_fir([3, 5, 7, 9]).finish())
+    verify = [("fir", [8, 13]), ("fir", [4, 5])]
+
+    print("FIR kernel (generated through the builder API):")
+    print(format_function(module.function("fir")))
+    trace = run_module(module, "fir", [8, 13])
+    print(f"\ninterpreted: fir(8, 13) = {trace.results[0]}\n")
+
+    with_coalescer = run_experiment(module, "Lphi,ABI+C", verify=verify)
+    without = run_experiment(module, "LABI+C", verify=verify)
+    naive = run_experiment(module, "naiveABI+C", verify=verify)
+    pre_ours = run_experiment(module, "Lphi,ABI", verify=verify)
+    pre_labi = run_experiment(module, "LABI", verify=verify)
+
+    print(f"{'pipeline':<28}{'moves':>7}{'weighted (5^depth)':>20}")
+    for label, result in (("pinningφ (paper)", with_coalescer),
+                          ("no phi coalescing", without),
+                          ("naive ABI lowering", naive),
+                          ("pinningφ, before cleanup", pre_ours),
+                          ("no coalescing, pre-cleanup", pre_labi)):
+        print(f"{label:<28}{result.moves:>7}{result.weighted:>20}")
+    saved = pre_labi.moves - pre_ours.moves
+    print(f"\nthe coalescer removed {saved} phi moves during translation "
+          f"-- work the\nlate repeated-coalescing pass never has to do "
+          f"(the paper's point [CC3]).")
+
+    print("\nfinal inner loop with the paper's pipeline:")
+    fir = with_coalescer.module.function("fir")
+    for label, block in fir.blocks.items():
+        if label.startswith("body"):
+            from repro.ir import format_block
+
+            print(format_block(block))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Program analyses: dominance, loops, liveness, def-use, interference."""
+
+from .defuse import DefSite, DefUse, UseSite
+from .dominance import DominatorTree
+from .interference import (InterferenceGraph, InterferenceMode, KillRules,
+                           SSAInterference)
+from .liveness import Liveness
+from .loops import Loop, LoopForest
+
+__all__ = ["DefSite", "DefUse", "UseSite", "DominatorTree",
+           "InterferenceGraph", "InterferenceMode", "KillRules",
+           "SSAInterference", "Liveness", "Loop", "LoopForest"]

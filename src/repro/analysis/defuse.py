@@ -1,0 +1,108 @@
+"""Definition/use maps and dominance between definition points.
+
+For SSA programs every variable has exactly one definition site; this
+module records where (block, position) and supports the ordering query
+the paper's interference Class 1 needs: *does the definition of x
+dominate the definition of y?*
+
+Positions: phi definitions sit at position ``-1`` (they all happen in
+parallel at block entry), body instructions at their index.  A phi
+definition therefore dominates every body definition of its block, and
+no phi definition dominates another phi definition of the same block --
+consistent with the parallel semantics that also makes them strongly
+interfere (paper Figure 4, Case 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Operand
+from ..ir.types import Var
+from .dominance import DominatorTree
+
+
+@dataclass(frozen=True)
+class DefSite:
+    """Where a variable is defined."""
+
+    block: str
+    position: int  # -1 for phi definitions
+    instr: Instruction
+
+    @property
+    def is_phi(self) -> bool:
+        return self.instr.is_phi
+
+
+@dataclass(frozen=True)
+class UseSite:
+    """One textual use of a variable."""
+
+    block: str
+    position: int  # -1 for phi uses
+    instr: Instruction
+    operand: Operand
+
+
+class DefUse:
+    """Def/use chains for an SSA function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.defs: dict[Var, DefSite] = {}
+        self.uses: dict[Var, list[UseSite]] = {}
+        for block in function.iter_blocks():
+            for phi in block.phis:
+                self._record(block.label, -1, phi)
+            for index, instr in enumerate(block.body):
+                self._record(block.label, index, instr)
+
+    def _record(self, label: str, position: int,
+                instr: Instruction) -> None:
+        for op in instr.defs:
+            if isinstance(op.value, Var):
+                if op.value in self.defs:
+                    raise ValueError(
+                        f"{op.value} defined twice; DefUse requires SSA")
+                self.defs[op.value] = DefSite(label, position, instr)
+        for op in instr.uses:
+            if isinstance(op.value, Var):
+                self.uses.setdefault(op.value, []).append(
+                    UseSite(label, position, instr, op))
+
+    # ------------------------------------------------------------------
+    def def_site(self, var: Var) -> Optional[DefSite]:
+        return self.defs.get(var)
+
+    def use_sites(self, var: Var) -> list[UseSite]:
+        return self.uses.get(var, [])
+
+    def def_block(self, var: Var) -> Optional[str]:
+        site = self.defs.get(var)
+        return site.block if site else None
+
+    def def_dominates(self, a: Var, b: Var,
+                      domtree: DominatorTree) -> bool:
+        """True when the definition of *a* strictly precedes (dominates)
+        the definition of *b* in the control flow.
+
+        Same-block positions break the tie; equal positions (two results
+        of one instruction, or two phis of one block) do not dominate
+        each other.
+        """
+        site_a = self.defs.get(a)
+        site_b = self.defs.get(b)
+        if site_a is None or site_b is None:
+            return False
+        if site_a.block == site_b.block:
+            return site_a.position < site_b.position
+        return domtree.strictly_dominates(site_a.block, site_b.block)
+
+    def same_instruction(self, a: Var, b: Var) -> bool:
+        site_a = self.defs.get(a)
+        site_b = self.defs.get(b)
+        return (site_a is not None and site_b is not None
+                and site_a.instr is site_b.instr)

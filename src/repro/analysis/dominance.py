@@ -1,0 +1,142 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the iterative algorithm of Cooper, Harvey & Kennedy
+("A Simple, Fast Dominance Algorithm"), which is near-linear in practice
+and simple to verify.  Dominance drives
+
+* SSA construction (phi placement on iterated dominance frontiers),
+* the SSA interference rules of the paper -- Class 1 asks whether "the
+  definition of x dominates the definition of y" (section 3.2), and the
+  killed/repair machinery of Leung & George walks the dominator tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..ir.cfg import predecessors_map, reverse_postorder
+from ..ir.function import Function
+
+
+class DominatorTree:
+    """Immutable dominance information for one function.
+
+    Unreachable blocks are excluded entirely: they have no dominator and
+    no analysis client should reason about them (the verifier rejects
+    SSA definitions there).
+    """
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.order: list[str] = reverse_postorder(function)
+        self._rpo_index: dict[str, int] = {
+            label: i for i, label in enumerate(self.order)}
+        self.idom: dict[str, Optional[str]] = {}
+        self.children: dict[str, list[str]] = {label: [] for label in
+                                               self.order}
+        self._preds = {
+            label: [p for p in preds if p in self._rpo_index]
+            for label, preds in predecessors_map(function).items()
+            if label in self._rpo_index}
+        self._compute_idoms()
+        self._depth: dict[str, int] = {}
+        self._compute_depths()
+        self._frontiers: Optional[dict[str, set[str]]] = None
+
+    # ------------------------------------------------------------------
+    def _compute_idoms(self) -> None:
+        entry = self.order[0]
+        idom: dict[str, Optional[str]] = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for label in self.order[1:]:
+                processed = [p for p in self._preds[label] if p in idom]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for pred in processed[1:]:
+                    new_idom = self._intersect(idom, pred, new_idom)
+                if idom.get(label) != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+        idom[entry] = None
+        self.idom = idom
+        for label, parent in idom.items():
+            if parent is not None:
+                self.children[parent].append(label)
+        # Deterministic child order: reverse postorder.
+        for kids in self.children.values():
+            kids.sort(key=self._rpo_index.__getitem__)
+
+    def _intersect(self, idom: dict, a: str, b: str) -> str:
+        index = self._rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    def _compute_depths(self) -> None:
+        for label in self.order:  # RPO: parents before children
+            parent = self.idom[label]
+            self._depth[label] = 0 if parent is None else \
+                self._depth[parent] + 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block *a* dominates block *b* (reflexive)."""
+        while b is not None and self._depth.get(b, -1) > self._depth.get(a, -1):
+            b = self.idom[b]  # type: ignore[assignment]
+        return a == b
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def depth(self, label: str) -> int:
+        return self._depth[label]
+
+    def preorder(self) -> Iterator[str]:
+        """Dominator-tree preorder (parents before children)."""
+        stack = [self.order[0]]
+        while stack:
+            label = stack.pop()
+            yield label
+            stack.extend(reversed(self.children[label]))
+
+    # ------------------------------------------------------------------
+    def dominance_frontier(self) -> dict[str, set[str]]:
+        """DF(b) for every reachable block (Cytron et al. definition)."""
+        if self._frontiers is None:
+            frontiers: dict[str, set[str]] = {label: set()
+                                              for label in self.order}
+            for label in self.order:
+                preds = self._preds[label]
+                if len(preds) < 2:
+                    continue
+                for pred in preds:
+                    runner = pred
+                    while runner != self.idom[label]:
+                        frontiers[runner].add(label)
+                        runner = self.idom[runner]  # type: ignore
+            self._frontiers = frontiers
+        return self._frontiers
+
+    def iterated_frontier(self, labels: set[str]) -> set[str]:
+        """IDF: the fixpoint of the dominance frontier over *labels*."""
+        frontiers = self.dominance_frontier()
+        result: set[str] = set()
+        worklist = [lbl for lbl in labels if lbl in frontiers]
+        on_list = set(worklist)
+        while worklist:
+            label = worklist.pop()
+            for frontier_block in frontiers[label]:
+                if frontier_block not in result:
+                    result.add(frontier_block)
+                    if frontier_block not in on_list:
+                        on_list.add(frontier_block)
+                        worklist.append(frontier_block)
+        return result

@@ -1,0 +1,253 @@
+"""Interference: SSA value queries, paper kill rules, and the classic
+Chaitin-style interference graph for post-SSA code.
+
+Three layers live here because they share the same liveness substrate:
+
+1. :class:`SSAInterference` -- pairwise queries on SSA variables
+   (dominance-based, per the SSA property the paper recalls: of two
+   interfering SSA values, one definition dominates the other).
+2. :class:`KillRules` -- the paper's ``Variable_kills`` and
+   ``Variable_stronglyInterfere`` procedures (Algorithm 2), with the
+   ``base`` / ``optimistic`` / ``pessimistic`` variants of Algorithm 4.
+3. :class:`InterferenceGraph` -- an explicit graph for non-SSA programs,
+   with the move special-case (a copy's destination does not interfere
+   with its source) used by the aggressive coalescer.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional
+
+from ..ir.function import Function
+from ..ir.types import PhysReg, Value, Var
+from .defuse import DefUse
+from .dominance import DominatorTree
+from .liveness import Liveness
+
+
+class SSAInterference:
+    """Bundled SSA analyses with pairwise variable interference."""
+
+    def __init__(self, function: Function,
+                 domtree: Optional[DominatorTree] = None,
+                 defuse: Optional[DefUse] = None,
+                 liveness: Optional[Liveness] = None) -> None:
+        self.function = function
+        self.domtree = domtree or DominatorTree(function)
+        self.defuse = defuse or DefUse(function)
+        self.liveness = liveness or Liveness(function)
+
+    def live_at_def(self, value: Var, of: Var) -> bool:
+        """Is *value* live just after the definition point of *of*?
+
+        "Just after" implements the usual refinement: ``a = b + 1`` does
+        not make *a* and *b* interfere when *b* dies there.
+        """
+        site = self.defuse.def_site(of)
+        if site is None:
+            return False
+        return value in self.liveness.live_after(site.block, site.position)
+
+    def interfere(self, a: Var, b: Var) -> bool:
+        """Do the live ranges of SSA variables *a* and *b* overlap?"""
+        if a == b:
+            return False
+        if self.defuse.same_instruction(a, b):
+            return True
+        site_a = self.defuse.def_site(a)
+        site_b = self.defuse.def_site(b)
+        if (site_a is not None and site_b is not None
+                and site_a.is_phi and site_b.is_phi
+                and site_a.block == site_b.block):
+            # Parallel definitions at one block entry coexist.
+            return True
+        if self.defuse.def_dominates(a, b, self.domtree):
+            return self.live_at_def(a, b)
+        if self.defuse.def_dominates(b, a, self.domtree):
+            return self.live_at_def(b, a)
+        return False
+
+
+InterferenceMode = Literal["base", "optimistic", "pessimistic"]
+
+
+class KillRules:
+    """The paper's variable-level kill and strong-interference tests.
+
+    ``variable_kills(a, b)`` answers: *does (the definition of) a kill b*
+    when both are pinned to a common resource?  Case 1 is the dominance
+    kill (writing *a* while *b*, defined earlier, is still live);
+    Case 2 is the phi kill (*a* is a phi whose virtual definition at the
+    end of predecessor ``B_i`` overwrites live *b*).  A variable can kill
+    itself through Case 2 -- that is exactly the *lost copy* situation,
+    which the paper notes ("for the lost copy problem a variable is
+    killed by itself").
+
+    The *mode* selects the Algorithm 4 variants: ``optimistic`` replaces
+    the exact Case 1 interference test with block-level live-out
+    membership (may miss kills, cheaper, repairs still keep the code
+    correct because Leung & George's reconstruction re-checks
+    availability), and ``pessimistic`` with block-level live-in or
+    same-block (may report spurious kills).
+    """
+
+    def __init__(self, ssa: SSAInterference,
+                 mode: InterferenceMode = "base") -> None:
+        self.ssa = ssa
+        self.mode = mode
+        self._live_after_edge: dict[str, set] = {}
+
+    # ------------------------------------------------------------------
+    def _edge_live(self, label: str) -> set:
+        cached = self._live_after_edge.get(label)
+        if cached is None:
+            cached = self.ssa.liveness.edge_kill_set(label, "")
+            self._live_after_edge[label] = cached
+        return cached
+
+    def variable_kills(self, a: Var, b: Var) -> bool:
+        """True when defining *a* into a shared resource destroys *b*."""
+        defuse = self.ssa.defuse
+        site_a = defuse.def_site(a)
+        site_b = defuse.def_site(b)
+        if site_a is None or site_b is None:
+            return False
+        # Case 1 -- dominance kill (three precision variants).
+        if a != b and defuse.def_dominates(b, a, self.ssa.domtree):
+            if self.mode == "base":
+                if self.ssa.live_at_def(b, a):
+                    return True
+            elif self.mode == "optimistic":
+                if b in self.ssa.liveness.live_out[site_a.block]:
+                    return True
+            else:  # pessimistic
+                if (b in self.ssa.liveness.live_in[site_a.block]
+                        or site_a.block == site_b.block):
+                    return True
+        # Case 2 -- phi kill: a's virtual definition at the end of each
+        # predecessor B_i overwrites anything live past the edge copies.
+        if site_a.is_phi:
+            for pred_label, op in site_a.instr.phi_pairs():
+                if b != op.value and b in self._edge_live(pred_label):
+                    return True
+        return False
+
+    def strongly_interfere(self, a: Var, b: Var) -> bool:
+        """Paper Cases 3 and 4 plus same-instruction definitions.
+
+        A strong interference makes a common pinning *incorrect* (not
+        just costly): no repair can fix it.
+        """
+        defuse = self.ssa.defuse
+        site_a = defuse.def_site(a)
+        site_b = defuse.def_site(b)
+        if site_a is None or site_b is None:
+            return False
+        if a == b:
+            return False
+        if site_a.is_phi and site_b.is_phi:
+            # Case 4 (and the "all phi definitions of one block strongly
+            # interfere" remark): same block => incorrect pinning.
+            if site_a.block == site_b.block:
+                return True
+            # Case 3: both phis write their resource at the end of a
+            # shared predecessor; different sources there => incorrect.
+            b_args = dict(site_b.instr.phi_pairs())
+            for pred_label, op_a in site_a.instr.phi_pairs():
+                op_b = b_args.get(pred_label)
+                if op_b is not None and op_a.value != op_b.value:
+                    return True
+            return False
+        if site_a.instr is site_b.instr:
+            # Two values written by one instruction (call results, ...):
+            # Figure 4 Case 1.
+            return True
+        return False
+
+
+class InterferenceGraph:
+    """Explicit interference graph for a (usually post-SSA) function.
+
+    Built from liveness with the classic move refinement: for
+    ``copy d, s`` the definition *d* interferes with everything live
+    after the copy except *s* itself -- the condition that lets Chaitin
+    coalescing eliminate the move.  Distinct physical registers always
+    interfere (implicitly; they are not stored as explicit edges).
+    """
+
+    def __init__(self, function: Optional[Function] = None,
+                 liveness: Optional[Liveness] = None) -> None:
+        self.adjacency: dict[Value, set[Value]] = {}
+        if function is not None:
+            self._build(function, liveness or Liveness(function))
+
+    # ------------------------------------------------------------------
+    def _build(self, function: Function, liveness: Liveness) -> None:
+        for block in function.iter_blocks():
+            if block.phis:
+                raise ValueError(
+                    "InterferenceGraph expects a phi-free function; "
+                    "use SSAInterference on SSA form")
+            live = set(liveness.live_out[block.label])
+            for instr in reversed(block.body):
+                defs = [op.value for op in instr.defs
+                        if isinstance(op.value, (Var, PhysReg))]
+                uses = [op.value for op in instr.uses
+                        if isinstance(op.value, (Var, PhysReg))]
+                exempt = set()
+                if instr.is_copy and uses:
+                    exempt.add(uses[0])
+                if instr.is_pcopy:
+                    # Parallel copy: each dest may share with its own src.
+                    pass
+                for i, d in enumerate(defs):
+                    self.touch(d)
+                    per_def_exempt = set(exempt)
+                    if instr.is_pcopy:
+                        src = instr.uses[i].value
+                        if isinstance(src, (Var, PhysReg)):
+                            per_def_exempt.add(src)
+                    for l in live:
+                        if l != d and l not in per_def_exempt:
+                            self.add_edge(d, l)
+                    for other in defs:
+                        if other != d:
+                            self.add_edge(d, other)
+                for d in defs:
+                    live.discard(d)
+                for u in uses:
+                    self.touch(u)
+                    live.add(u)
+
+    # ------------------------------------------------------------------
+    def touch(self, node: Value) -> None:
+        self.adjacency.setdefault(node, set())
+
+    def add_edge(self, a: Value, b: Value) -> None:
+        if a == b:
+            return
+        self.adjacency.setdefault(a, set()).add(b)
+        self.adjacency.setdefault(b, set()).add(a)
+
+    def interfere(self, a: Value, b: Value) -> bool:
+        if a == b:
+            return False
+        if isinstance(a, PhysReg) and isinstance(b, PhysReg):
+            return True
+        return b in self.adjacency.get(a, ())
+
+    def neighbors(self, node: Value) -> set[Value]:
+        return self.adjacency.get(node, set())
+
+    def merge(self, keep: Value, gone: Value) -> None:
+        """Coalesce *gone* into *keep*: simple edge union (the operation
+        the paper contrasts with iterated register coalescing's
+        recomputation, section 3.5)."""
+        for neighbor in self.adjacency.pop(gone, set()):
+            self.adjacency[neighbor].discard(gone)
+            if neighbor != keep:
+                self.add_edge(keep, neighbor)
+        self.touch(keep)
+
+    def __len__(self) -> int:
+        return len(self.adjacency)

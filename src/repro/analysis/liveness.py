@@ -1,0 +1,206 @@
+"""Liveness analysis, SSA-aware ("multiplexing" phi semantics).
+
+The paper is explicit about where phi operands live (section 3.2,
+Class 2): *"a phi instruction does not occur where it textually appears,
+but at the end of each predecessor basic block instead.  Hence, if not
+used by another instruction, z would be treated as dead at the exit of
+block C and at the entry of block B."*
+
+We therefore compute the standard SSA liveness equations
+(Boissinot et al. convention):
+
+* ``live_out(B) = phi_uses(B)  ∪  ⋃_{S ∈ succ(B)} (live_in(S) \\ phi_defs(S))``
+* ``live_in(B)  = phi_defs(B) ∪ upward_exposed(B) ∪ (live_out(B) \\ defs(B))``
+
+``live_out(B)`` is the live set at the point *just before* the virtual
+parallel copies that implement the phis of B's successors;
+:meth:`Liveness.live_after_edge_copies` gives the set just *after* them,
+which is the "live out of block C" the paper's kill test needs (a phi
+argument consumed only by the parallel copy is dead there, while a value
+used past the copy is killed by any write to its resource).
+
+The same equations serve non-SSA programs (all phi sets empty), which is
+how the Chaitin-style coalescer builds its interference graph after the
+out-of-SSA translation.
+"""
+
+from __future__ import annotations
+
+
+
+from ..ir.cfg import predecessors_map, reverse_postorder
+from ..ir.function import Function
+from ..ir.types import PhysReg, Value, Var
+
+#: Liveness tracks anything that can hold a value across instructions:
+#: variables and (after out-of-SSA renaming) physical registers.
+Liv = Value  # Var | PhysReg; Imm never appears in the sets
+
+
+def _trackable(value: object) -> bool:
+    return isinstance(value, (Var, PhysReg))
+
+
+class Liveness:
+    """Block-level live-in/live-out sets plus per-point queries.
+
+    The object is a snapshot: mutate the function and the sets are stale;
+    construct a new instance (all passes in this code base do).
+    """
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.live_in: dict[str, set[Liv]] = {}
+        self.live_out: dict[str, set[Liv]] = {}
+        self._phi_defs: dict[str, set[Liv]] = {}
+        self._phi_uses_out: dict[str, set[Liv]] = {}
+        self._defs: dict[str, set[Liv]] = {}
+        self._upward: dict[str, set[Liv]] = {}
+        self._used_in_body: dict[str, set[Liv]] = {}
+        self._after_cache: dict[str, list[set[Liv]]] = {}
+        self._compute()
+
+    # ------------------------------------------------------------------
+    def _local_sets(self) -> None:
+        preds = predecessors_map(self.function)
+        for label, block in self.function.blocks.items():
+            phi_defs = {op.value for phi in block.phis for op in phi.defs
+                        if _trackable(op.value)}
+            defs = set(phi_defs)
+            upward: set[Liv] = set()
+            used_body: set[Liv] = set()
+            for instr in block.body:
+                for op in instr.uses:
+                    if _trackable(op.value):
+                        used_body.add(op.value)
+                        if op.value not in defs:
+                            upward.add(op.value)
+                for op in instr.defs:
+                    if _trackable(op.value):
+                        defs.add(op.value)
+            self._phi_defs[label] = phi_defs
+            self._defs[label] = defs
+            self._upward[label] = upward
+            self._used_in_body[label] = used_body
+            self._phi_uses_out.setdefault(label, set())
+        # phi uses live at the end of the corresponding predecessor.
+        for label, block in self.function.blocks.items():
+            for phi in block.phis:
+                for pred_label, op in phi.phi_pairs():
+                    if _trackable(op.value) and pred_label in self._defs:
+                        self._phi_uses_out.setdefault(
+                            pred_label, set()).add(op.value)
+
+    def _compute(self) -> None:
+        self._local_sets()
+        order = reverse_postorder(self.function)
+        for label in self.function.blocks:
+            self.live_in[label] = set()
+            self.live_out[label] = set()
+        changed = True
+        while changed:
+            changed = False
+            for label in reversed(order):
+                block = self.function.blocks[label]
+                out: set[Liv] = set(self._phi_uses_out.get(label, ()))
+                for succ in block.successors():
+                    out |= self.live_in[succ] - self._phi_defs[succ]
+                new_in = (self._phi_defs[label] | self._upward[label]
+                          | (out - self._defs[label]))
+                if out != self.live_out[label] or \
+                        new_in != self.live_in[label]:
+                    self.live_out[label] = out
+                    self.live_in[label] = new_in
+                    changed = True
+
+    # ------------------------------------------------------------------
+    # Paper-specific composite queries
+    # ------------------------------------------------------------------
+    def phi_def_live_past_entry(self, var: Var, label: str) -> bool:
+        """Is phi-defined *var* (a phi def of *label*) still needed after
+        the virtual edge copies, i.e. used in the body or live out?"""
+        return (var in self._used_in_body[label]
+                or var in self.live_out[label])
+
+    def phi_uses_on_edge(self, pred: str, succ: str) -> set[Liv]:
+        """Variables consumed by the virtual edge copies of ``pred->succ``
+        (the arguments of *succ*'s phis flowing in from *pred*)."""
+        result: set[Liv] = set()
+        for phi in self.function.blocks[succ].phis:
+            for label, op in phi.phi_pairs():
+                if label == pred and _trackable(op.value):
+                    result.add(op.value)
+        return result
+
+    def edge_kill_set(self, pred: str, succ: str) -> set[Liv]:
+        """Values whose liveness extends *past* the virtual phi copies
+        executed on the edge ``pred -> succ``.
+
+        This is the exact reading of the paper's Class 2 test ("x is
+        live-out of block C"): the phi arguments consumed by the parallel
+        copy are dead past it (the paper's note that an otherwise-unused
+        z "would be treated as dead at the exit of block C"), while
+        values needed in the successor's body, or along *other*
+        successor edges of an unsplit CFG, survive and are killed by any
+        write to their resource.  The old value of a phi target itself
+        survives only through other edges -- which is how a variable can
+        be "killed by itself" (the lost-copy problem).
+
+        All phi copies of all outgoing edges of *pred* form one parallel
+        copy at the end of *pred* (sources read before destinations are
+        written), so the set only depends on *pred*; the *succ* argument
+        documents the edge and keeps the call sites readable.
+        """
+        survive: set[Liv] = set()
+        for s in self.function.blocks[pred].successors():
+            survive |= self.live_in[s] - self._phi_defs[s]
+        return survive
+
+    # ------------------------------------------------------------------
+    # Per-point queries
+    # ------------------------------------------------------------------
+    def live_after_sets(self, label: str) -> list[set[Liv]]:
+        """``result[i]`` = live set just after body instruction *i* of
+        block *label* (``result[-1]`` equals ``live_out``)."""
+        cached = self._after_cache.get(label)
+        if cached is not None:
+            return cached
+        block = self.function.blocks[label]
+        live = set(self.live_out[label])
+        after: list[set[Liv]] = [set() for _ in block.body]
+        for index in range(len(block.body) - 1, -1, -1):
+            after[index] = set(live)
+            instr = block.body[index]
+            for op in instr.defs:
+                if _trackable(op.value):
+                    live.discard(op.value)
+            for op in instr.uses:
+                if _trackable(op.value):
+                    live.add(op.value)
+        self._after_cache[label] = after
+        return after
+
+    def live_after(self, label: str, position: int) -> set[Liv]:
+        """Live set just after the instruction at *position* in *label*.
+
+        ``position == -1`` addresses the phi prefix: the set right after
+        all phi definitions, i.e. at the start of the body.
+        """
+        if position == -1:
+            block = self.function.blocks[label]
+            if block.body:
+                after = self.live_after_sets(label)[0]
+                instr = block.body[0]
+                live = set(after)
+                for op in instr.defs:
+                    if _trackable(op.value):
+                        live.discard(op.value)
+                for op in instr.uses:
+                    if _trackable(op.value):
+                        live.add(op.value)
+                return live
+            return set(self.live_out[label])
+        return self.live_after_sets(label)[position]
+
+    def is_live_after(self, value: Liv, label: str, position: int) -> bool:
+        return value in self.live_after(label, position)

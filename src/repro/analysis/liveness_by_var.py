@@ -1,0 +1,89 @@
+"""Per-variable liveness ("by use, walk up") -- an independent oracle.
+
+Computes exactly the sets of :class:`repro.analysis.liveness.Liveness`
+with a structurally different algorithm: instead of a round-robin
+dataflow fixpoint, each SSA variable's range is traced from its uses
+backwards to its definition (the classic path-exploration algorithm of
+the SSA book).  Two independent implementations of the same contract
+give the property tests something real to compare -- liveness underpins
+every interference decision in this code base, so a silent bug here
+would skew all of them.
+
+Conventions (identical to :mod:`.liveness`):
+
+* a phi argument is live-out of the corresponding predecessor, not
+  live-in of the phi's block;
+* a phi definition is live-in of its block (defined "at entry");
+* ordinary definitions start their range at their instruction.
+
+Only valid for SSA functions (single definitions); the general dataflow
+version also covers post-SSA code.
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import predecessors_map
+from ..ir.function import Function
+from ..ir.types import Var
+
+
+def liveness_by_var(function: Function) -> tuple[dict, dict]:
+    """Return ``(live_in, live_out)`` keyed by block label."""
+    preds = predecessors_map(function)
+    live_in: dict[str, set] = {label: set() for label in function.blocks}
+    live_out: dict[str, set] = {label: set() for label in function.blocks}
+
+    def_block: dict[Var, str] = {}
+    phi_defs: dict[str, set] = {label: set() for label in function.blocks}
+    for block in function.iter_blocks():
+        for phi in block.phis:
+            value = phi.defs[0].value
+            if isinstance(value, Var):
+                if value in def_block:
+                    raise ValueError("liveness_by_var requires SSA")
+                def_block[value] = block.label
+                phi_defs[block.label].add(value)
+        for instr in block.body:
+            for op in instr.defs:
+                if isinstance(op.value, Var):
+                    if op.value in def_block:
+                        raise ValueError("liveness_by_var requires SSA")
+                    def_block[op.value] = block.label
+
+    def mark_in(label: str, var: Var) -> None:
+        if var in live_in[label]:
+            return
+        live_in[label].add(var)
+        if var in phi_defs[label]:
+            return  # defined at block entry: the range stops here
+        for pred in preds[label]:
+            mark_out(pred, var)
+
+    def mark_out(label: str, var: Var) -> None:
+        if var in live_out[label]:
+            return
+        live_out[label].add(var)
+        if def_block.get(var) == label:
+            return  # ordinary or phi definition in this block
+        mark_in(label, var)
+
+    for block in function.iter_blocks():
+        for var in phi_defs[block.label]:
+            live_in[block.label].add(var)
+        for phi in block.phis:
+            for pred_label, op in phi.phi_pairs():
+                if isinstance(op.value, Var):
+                    mark_out(pred_label, op.value)
+        defined_here: set = set(phi_defs[block.label])
+        for instr in block.body:
+            for op in instr.uses:
+                var = op.value
+                if isinstance(var, Var) and var not in defined_here \
+                        and def_block.get(var) != block.label:
+                    mark_in(block.label, var)
+                elif isinstance(var, Var) and var in phi_defs[block.label]:
+                    live_in[block.label].add(var)
+            for op in instr.defs:
+                if isinstance(op.value, Var):
+                    defined_here.add(op.value)
+    return live_in, live_out

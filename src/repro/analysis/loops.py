@@ -1,0 +1,130 @@
+"""Natural-loop detection and loop nesting depth.
+
+The paper's algorithm visits confluence points "based on an inner to
+outer loop traversal, so as to optimize in priority the most frequently
+executed blocks" (section 3), and Table 5 weights each move instruction
+by ``5**depth`` where *depth* is "the nesting level ... of the loop the
+move belongs to".  Both need the loop nesting forest computed here.
+
+We find natural loops from back edges (``head`` dominates ``tail``) and
+merge loops sharing a header, which is sufficient for the reducible
+control flow our front end and generators produce.  Blocks in no loop
+have depth 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.cfg import predecessors_map
+from ..ir.function import Function
+from .dominance import DominatorTree
+
+
+@dataclass
+class Loop:
+    """One natural loop: header plus body blocks (header included)."""
+
+    header: str
+    blocks: set[str] = field(default_factory=set)
+    parent: Optional["Loop"] = None
+    children: list["Loop"] = field(default_factory=list)
+    depth: int = 1
+
+    def __repr__(self) -> str:
+        return f"<Loop head={self.header} blocks={len(self.blocks)}>"
+
+
+class LoopForest:
+    """All natural loops of a function, nested."""
+
+    def __init__(self, function: Function,
+                 domtree: Optional[DominatorTree] = None) -> None:
+        self.function = function
+        self.domtree = domtree or DominatorTree(function)
+        self.loops: dict[str, Loop] = {}
+        self.roots: list[Loop] = []
+        self._block_depth: dict[str, int] = {}
+        self._innermost: dict[str, Optional[Loop]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        preds = predecessors_map(self.function)
+        reachable = set(self.domtree.order)
+        # 1. Collect back edges and grow each loop body backwards.
+        for label in self.domtree.order:
+            for succ in self.function.blocks[label].successors():
+                if succ in reachable and self.domtree.dominates(succ, label):
+                    loop = self.loops.setdefault(succ, Loop(header=succ))
+                    self._grow(loop, label, preds)
+        for loop in self.loops.values():
+            loop.blocks.add(loop.header)
+        # 2. Nest loops: loop A is inside loop B when A's header is in
+        #    B's body (and A != B).
+        ordered = sorted(self.loops.values(), key=lambda l: len(l.blocks))
+        for i, inner in enumerate(ordered):
+            for outer in ordered[i + 1:]:
+                if inner.header in outer.blocks and inner is not outer:
+                    inner.parent = outer
+                    outer.children.append(inner)
+                    break
+        for loop in self.loops.values():
+            if loop.parent is None:
+                self.roots.append(loop)
+        # 3. Depths.
+        def set_depth(loop: Loop, depth: int) -> None:
+            loop.depth = depth
+            for child in loop.children:
+                set_depth(child, depth + 1)
+
+        for root in self.roots:
+            set_depth(root, 1)
+        # 4. Per-block innermost loop / depth.
+        for label in self.domtree.order:
+            best: Optional[Loop] = None
+            for loop in self.loops.values():
+                if label in loop.blocks:
+                    if best is None or loop.depth > best.depth:
+                        best = loop
+            self._innermost[label] = best
+            self._block_depth[label] = best.depth if best else 0
+
+    def _grow(self, loop: Loop, tail: str,
+              preds: dict[str, list[str]]) -> None:
+        """Add the natural-loop body reaching *tail* (excluding header)."""
+        if tail == loop.header or tail in loop.blocks:
+            return
+        stack = [tail]
+        loop.blocks.add(tail)
+        while stack:
+            label = stack.pop()
+            for pred in preds[label]:
+                if pred != loop.header and pred not in loop.blocks:
+                    loop.blocks.add(pred)
+                    stack.append(pred)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def depth(self, label: str) -> int:
+        """Loop nesting depth of a block; 0 when outside all loops."""
+        return self._block_depth.get(label, 0)
+
+    def innermost_loop(self, label: str) -> Optional[Loop]:
+        return self._innermost.get(label)
+
+    def blocks_inner_to_outer(self) -> list[str]:
+        """Reachable blocks ordered by decreasing loop depth.
+
+        This is the paper's "inner to outer loop traversal" of confluence
+        points; ties are broken by reverse postorder so the result is
+        deterministic.
+        """
+        rpo_index = {label: i for i, label in enumerate(self.domtree.order)}
+        return sorted(self.domtree.order,
+                      key=lambda lbl: (-self.depth(lbl), rpo_index[lbl]))
+
+    def max_depth(self) -> int:
+        return max(self._block_depth.values(), default=0)

@@ -1,0 +1,13 @@
+"""Simulated benchmark suites: kernels, synthetic programs, figures."""
+
+from .figures import ALL_FIGURES
+from .kernels import KERNELS
+from .suites import (SUITE_NAMES, Suite, all_suites, examples, lai_large,
+                     load_suite, specint, valcc1, valcc2)
+from .synthetic import (SyntheticConfig, generate_function_source,
+                        generate_module)
+
+__all__ = ["ALL_FIGURES", "KERNELS", "SUITE_NAMES", "Suite", "all_suites",
+           "examples", "lai_large", "load_suite", "specint", "valcc1",
+           "valcc2", "SyntheticConfig", "generate_function_source",
+           "generate_module"]

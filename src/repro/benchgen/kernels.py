@@ -1,0 +1,732 @@
+"""Hand-written LAI kernels: the simulated ``VALcc`` suite.
+
+The paper's VALcc1/VALcc2 are "about 40 small functions with some basic
+digital signal processing kernels, integer Discrete Cosine Transform,
+sorting, searching, and string searching algorithms" compiled from C by
+two different ST120 compilers.  We write the same kinds of kernels
+directly in the LAI dialect; :func:`repro.benchgen.suites.valcc` derives
+the two "compiler" variants (the second through a copy-heavy style
+transformation that mimics a less clever code generator).
+
+Every kernel initializes its own memory (the interpreter refuses reads
+of uninitialized addresses), takes only integer parameters, and
+terminates on all verify inputs, so the whole suite is usable as an
+end-to-end differential-testing corpus.
+
+Each entry of :data:`KERNELS` is ``(name, source, verify_args)``.
+"""
+
+from __future__ import annotations
+
+#: (name, LAI source, list of argument tuples for the verify runs)
+KERNELS: list[tuple[str, str, list[tuple]]] = []
+
+
+def _kernel(name: str, source: str, *args: tuple) -> None:
+    KERNELS.append((name, source, list(args)))
+
+
+_kernel("fir4", """
+func fir4
+entry:
+    input n, seed
+    make i0, 0
+    br fill
+fill:
+    i1 = phi(i0:entry, i2:fill)
+    mul v, i1, seed
+    and v2, v, 255
+    store i1, v2, #100
+    add i2, i1, 1
+    cmplt c1, i2, n
+    cbr c1, fill, setup
+setup:
+    make acc0, 0
+    make j0, 3
+    br loop
+loop:
+    acc1 = phi(acc0:setup, acc5:loop)
+    j1 = phi(j0:setup, j2:loop)
+    load x0, j1, #100
+    sub jm1, j1, 1
+    load x1, jm1, #100
+    sub jm2, j1, 2
+    load x2, jm2, #100
+    sub jm3, j1, 3
+    load x3, jm3, #100
+    mac acc2, acc1, x0, 3
+    mac acc3, acc2, x1, 5
+    mac acc4, acc3, x2, 7
+    mac acc5, acc4, x3, 11
+    add j2, j1, 1
+    cmplt c2, j2, n
+    cbr c2, loop, out
+out:
+    ret acc5
+endfunc
+""", (8, 13), (4, 200))
+
+_kernel("iir2", """
+func iir2
+entry:
+    input n, seed
+    make y1a, 0
+    make y2a, 0
+    make i0, 0
+    br loop
+loop:
+    y1 = phi(y1a:entry, y0:loop)
+    y2 = phi(y2a:entry, y1:loop)
+    i1 = phi(i0:entry, i2:loop)
+    mul x, i1, seed
+    and xin, x, 127
+    mul t1, y1, 3
+    mul t2, y2, 2
+    sub t3, t1, t2
+    shr t4, t3, 2
+    add y0, xin, t4
+    add i2, i1, 1
+    cmplt c, i2, n
+    cbr c, loop, out
+out:
+    add r, y1, y2
+    ret r
+endfunc
+""", (6, 9), (12, 31))
+
+_kernel("dot", """
+func dot
+entry:
+    input n, s1, s2
+    make i0, 0
+    br fill
+fill:
+    i1 = phi(i0:entry, i2:fill)
+    mul a, i1, s1
+    and a2, a, 63
+    store i1, a2, #200
+    mul b, i1, s2
+    and b2, b, 63
+    store i1, b2, #300
+    add i2, i1, 1
+    cmplt c1, i2, n
+    cbr c1, fill, compute
+compute:
+    make acc0, 0
+    make j0, 0
+    br loop
+loop:
+    acc1 = phi(acc0:compute, acc2:loop)
+    j1 = phi(j0:compute, j2:loop)
+    load x, j1, #200
+    load y, j1, #300
+    mac acc2, acc1, x, y
+    autoadd j2, j1, 1
+    cmplt c2, j2, n
+    cbr c2, loop, out
+out:
+    ret acc2
+endfunc
+""", (7, 3, 5), (16, 11, 2))
+
+_kernel("bubble_sort", """
+func bubble_sort
+entry:
+    input n, seed
+    make i0, 0
+    br fill
+fill:
+    i1 = phi(i0:entry, i2:fill)
+    mul v, i1, seed
+    add v1, v, 17
+    and v2, v1, 255
+    store i1, v2, #400
+    add i2, i1, 1
+    cmplt c1, i2, n
+    cbr c1, fill, outer
+outer:
+    o1 = phi(i2:fill, o2:outer_latch)
+    make j0, 0
+    sub lim, n, 1
+    br inner
+inner:
+    j1 = phi(j0:outer, j3:inner_latch)
+    load a, j1, #400
+    add jp, j1, 1
+    load b, jp, #400
+    cmpgt sw, a, b
+    cbr sw, do_swap, no_swap
+do_swap:
+    store j1, b, #400
+    store jp, a, #400
+    br inner_latch
+no_swap:
+    br inner_latch
+inner_latch:
+    autoadd j3, j1, 1
+    cmplt c2, j3, lim
+    cbr c2, inner, outer_latch
+outer_latch:
+    sub o2, o1, 1
+    cmpgt c3, o2, 0
+    cbr c3, outer, done
+done:
+    make k0, 0
+    make h0, 0
+    br check
+check:
+    k1 = phi(k0:done, k2:check)
+    h1 = phi(h0:done, h2:check)
+    load e, k1, #400
+    mac h2, h1, e, 31
+    add k2, k1, 1
+    cmplt c4, k2, n
+    cbr c4, check, out
+out:
+    ret h2
+endfunc
+""", (5, 7), (9, 23))
+
+_kernel("binsearch", """
+func binsearch
+entry:
+    input n, key
+    make i0, 0
+    br fill
+fill:
+    i1 = phi(i0:entry, i2:fill)
+    mul v, i1, 3
+    store i1, v, #500
+    add i2, i1, 1
+    cmplt c1, i2, n
+    cbr c1, fill, search
+search:
+    make lo0, 0
+    sub hi0, n, 1
+    make res0, -1
+    br loop
+loop:
+    lo1 = phi(lo0:search, lo2:cont)
+    hi1 = phi(hi0:search, hi2:cont)
+    res1 = phi(res0:search, res2:cont)
+    cmple c2, lo1, hi1
+    cbr c2, body, out
+body:
+    add sum, lo1, hi1
+    shr mid, sum, 1
+    load v2, mid, #500
+    cmpeq eq, v2, key
+    cbr eq, found, narrow
+found:
+    copy res3, mid
+    add lo4, hi1, 1
+    br cont
+narrow:
+    cmplt lt, v2, key
+    cbr lt, goright, goleft
+goright:
+    add lo5, mid, 1
+    copy hi3, hi1
+    br cont
+goleft:
+    sub hi4, mid, 1
+    copy lo6, lo1
+    br cont
+cont:
+    lo2 = phi(lo4:found, lo5:goright, lo6:goleft)
+    hi2 = phi(hi1:found, hi3:goright, hi4:goleft)
+    res2 = phi(res3:found, res1:goright, res1:goleft)
+    br loop
+out:
+    ret res1
+endfunc
+""", (10, 12), (10, 13), (16, 45))
+
+_kernel("strsearch", """
+func strsearch
+entry:
+    input n, m
+    make i0, 0
+    br fill_text
+fill_text:
+    i1 = phi(i0:entry, i2:fill_text)
+    mul v, i1, 7
+    and v2, v, 3
+    store i1, v2, #600
+    add i2, i1, 1
+    cmplt c1, i2, n
+    cbr c1, fill_text, fill_pat
+fill_pat:
+    make j0, 0
+    br fp
+fp:
+    j1 = phi(j0:fill_pat, j2:fp)
+    mul w, j1, 7
+    and w2, w, 3
+    store j1, w2, #700
+    add j2, j1, 1
+    cmplt c2, j2, m
+    cbr c2, fp, search
+search:
+    make pos0, 0
+    make hits0, 0
+    sub last, n, m
+    br outer
+outer:
+    pos1 = phi(pos0:search, pos2:onext)
+    hits1 = phi(hits0:search, hits2:onext)
+    cmple c3, pos1, last
+    cbr c3, inner_init, out
+inner_init:
+    make k0, 0
+    br inner
+inner:
+    k1 = phi(k0:inner_init, k2:istep)
+    cmplt c4, k1, m
+    cbr c4, compare, matched
+compare:
+    add ti, pos1, k1
+    load tc, ti, #600
+    load pc, k1, #700
+    cmpeq e, tc, pc
+    cbr e, istep, onext_nomatch
+istep:
+    add k2, k1, 1
+    br inner
+matched:
+    add hits3, hits1, 1
+    br onext
+onext_nomatch:
+    br onext
+onext:
+    hits2 = phi(hits3:matched, hits1:onext_nomatch)
+    add pos2, pos1, 1
+    br outer
+out:
+    ret hits1
+endfunc
+""", (9, 2), (12, 3))
+
+_kernel("dct4", """
+func dct4
+entry:
+    input s0, s1, s2, s3
+    add t0, s0, s3
+    sub t3, s0, s3
+    add t1, s1, s2
+    sub t2, s1, s2
+    add u0, t0, t1
+    sub u2, t0, t1
+    mul a, t3, 17
+    mul b, t2, 7
+    add u1, a, b
+    mul cx, t3, 7
+    mul dx, t2, 17
+    sub u3, cx, dx
+    shr o0, u0, 1
+    shr o1, u1, 5
+    shr o2, u2, 1
+    shr o3, u3, 5
+    shl p1, o1, 8
+    shl p2, o2, 16
+    shl p3, o3, 24
+    or q1, o0, p1
+    or q2, q1, p2
+    or q3, q2, p3
+    ret q3
+endfunc
+""", (1, 2, 3, 4), (10, 20, 30, 40))
+
+_kernel("gcd_calls", """
+func gcd_calls
+entry:
+    input a, b
+    call g = gcd(a, b)
+    call l = lcm_part(a, b, g)
+    add r, g, l
+    ret r
+endfunc
+
+func gcd
+entry:
+    input x0, y0
+    br head
+head:
+    x = phi(x0:entry, y:body)
+    y = phi(y0:entry, r:body)
+    cmpeq z, y, 0
+    cbr z, out, body
+body:
+    rem r, x, y
+    br head
+out:
+    ret x
+endfunc
+
+func lcm_part
+entry:
+    input x, y, g
+    div q, x, g
+    mul l, q, y
+    ret l
+endfunc
+""", (12, 18), (35, 14))
+
+_kernel("maxmin", """
+func maxmin
+entry:
+    input n, seed
+    make i0, 0
+    br fill
+fill:
+    i1 = phi(i0:entry, i2:fill)
+    mul v, i1, seed
+    xor v1, v, 89
+    and v2, v1, 511
+    store i1, v2, #800
+    add i2, i1, 1
+    cmplt c1, i2, n
+    cbr c1, fill, scan
+scan:
+    load first, 0, #800
+    make j0, 1
+    br loop
+loop:
+    mx1 = phi(first:scan, mx2:step)
+    mn1 = phi(first:scan, mn2:step)
+    j1 = phi(j0:scan, j2:step)
+    load x, j1, #800
+    max mx2, mx1, x
+    min mn2, mn1, x
+    br step
+step:
+    add j2, j1, 1
+    cmplt c2, j2, n
+    cbr c2, loop, out
+out:
+    sub r, mx1, mn1
+    ret r
+endfunc
+""", (6, 13), (11, 7))
+
+_kernel("histogram", """
+func histogram
+entry:
+    input n
+    make i0, 0
+    br zero
+zero:
+    i1 = phi(i0:entry, i2:zero)
+    store i1, 0, #900
+    add i2, i1, 1
+    cmplt c1, i2, 8
+    cbr c1, zero, fill
+fill:
+    j1 = phi(i0:zero, j2:fill)
+    mul v, j1, 5
+    add v1, v, 3
+    and bin, v1, 7
+    load old, bin, #900
+    add new, old, 1
+    store bin, new, #900
+    add j2, j1, 1
+    cmplt c2, j2, n
+    cbr c2, fill, sum
+sum:
+    make k0, 0
+    make acc0, 0
+    br loop
+loop:
+    k1 = phi(k0:sum, k2:loop)
+    acc1 = phi(acc0:sum, acc2:loop)
+    load h, k1, #900
+    mac acc2, acc1, h, k1
+    add k2, k1, 1
+    cmplt c3, k2, 8
+    cbr c3, loop, out
+out:
+    ret acc2
+endfunc
+""", (10,), (25,))
+
+_kernel("sat_add", """
+func sat_add
+entry:
+    input n, seed
+    make acc0, 0
+    make i0, 0
+    br loop
+loop:
+    acc1 = phi(acc0:entry, acc4:step)
+    i1 = phi(i0:entry, i2:step)
+    mul x, i1, seed
+    and x1, x, 1023
+    add raw, acc1, x1
+    cmpgt over, raw, 4095
+    cbr over, clamp, keep
+clamp:
+    make acc2, 4095
+    br step_in
+keep:
+    copy acc3, raw
+    br step_in
+step_in:
+    acc4 = phi(acc2:clamp, acc3:keep)
+    br step
+step:
+    autoadd i2, i1, 1
+    cmplt c, i2, n
+    cbr c, loop, out
+out:
+    ret acc1
+endfunc
+""", (9, 77), (20, 123))
+
+_kernel("poly_eval", """
+func poly_eval
+entry:
+    input x, n
+    make acc0, 1
+    make i0, 0
+    br loop
+loop:
+    acc1 = phi(acc0:entry, acc2:loop)
+    i1 = phi(i0:entry, i2:loop)
+    mul t, acc1, x
+    add t2, t, 3
+    and acc2, t2, 0xFFFF
+    add i2, i1, 1
+    cmplt c, i2, n
+    cbr c, loop, out
+out:
+    make hi, 0x00A1
+    more packed, hi, 0x2BFA
+    xor r, acc1, packed
+    ret r
+endfunc
+""", (3, 4), (7, 9))
+
+_kernel("stack_frames", """
+func stack_frames
+entry:
+    input a, b
+    readsp $SP
+    sub $SP, $SP, 16
+    store $SP, a
+    store $SP, b, #1
+    call s1 = leaf_sum($SP)
+    add $SP, $SP, 16
+    sub $SP, $SP, 8
+    store $SP, s1
+    call s2 = leaf_double($SP)
+    add $SP, $SP, 8
+    add r, s1, s2
+    ret r
+endfunc
+
+func leaf_sum
+entry:
+    input ptr_base
+    load x, ptr_base
+    load y, ptr_base, #1
+    add r, x, y
+    ret r
+endfunc
+
+func leaf_double
+entry:
+    input ptr_base
+    load x, ptr_base
+    shl r, x, 1
+    ret r
+endfunc
+""", (3, 4), (100, 23))
+
+_kernel("matmul2", """
+func matmul2
+entry:
+    input m, nv
+    add a, m, 1
+    add b, m, 2
+    add c, nv, 3
+    add d, nv, 4
+    xor e, m, nv
+    add f, e, 1
+    sub g, m, nv
+    add h, g, 5
+    mul t1, a, e
+    mac r0, t1, b, g
+    mul t2, a, f
+    mac r1, t2, b, h
+    mul t3, c, e
+    mac r2, t3, d, g
+    mul t4, c, f
+    mac r3, t4, d, h
+    and m0, r0, 255
+    and m1, r1, 255
+    and m2, r2, 255
+    and m3, r3, 255
+    shl p1, m1, 8
+    shl p2, m2, 16
+    shl p3, m3, 24
+    or q1, m0, p1
+    or q2, q1, p2
+    or q3, q2, p3
+    ret q3
+endfunc
+""", (3, 5), (12, 7))
+
+_kernel("crc8", """
+func crc8
+entry:
+    input n, seed
+    make crc0, 0xFF
+    make i0, 0
+    br outer
+outer:
+    crc1 = phi(crc0:entry, crc6:ostep)
+    i1 = phi(i0:entry, i2:ostep)
+    mul byte, i1, seed
+    and b2, byte, 255
+    xor crc2, crc1, b2
+    make j0, 0
+    br inner
+inner:
+    crc3 = phi(crc2:outer, crc5:istep)
+    j1 = phi(j0:outer, j2:istep)
+    and lsb, crc3, 1
+    shr half, crc3, 1
+    cbr lsb, withpoly, nopoly
+withpoly:
+    xor crc4, half, 0x8C
+    br istep_in
+nopoly:
+    br istep_in
+istep_in:
+    crc5 = phi(crc4:withpoly, half:nopoly)
+    br istep
+istep:
+    add j2, j1, 1
+    cmplt cj, j2, 8
+    cbr cj, inner, ostep
+ostep:
+    copy crc6, crc3
+    add i2, i1, 1
+    cmplt ci, i2, n
+    cbr ci, outer, out
+out:
+    ret crc1
+endfunc
+""", (4, 77), (9, 13))
+
+_kernel("fib_iter", """
+func fib_iter
+entry:
+    input n
+    make a0, 0
+    make b0, 1
+    make i0, 0
+    br head
+head:
+    a1 = phi(a0:entry, b1:latch)
+    b1 = phi(b0:entry, s1:latch)
+    i1 = phi(i0:entry, i2:latch)
+    add s1, a1, b1
+    add i2, i1, 1
+    cmplt c, i2, n
+    cbr c, latch, out
+latch:
+    br head
+out:
+    ret a1
+endfunc
+""", (1,), (10,), (20,))
+
+_kernel("clamp_scale", """
+func clamp_scale
+entry:
+    input n, scale
+    make acc0, 0
+    make i0, 0
+    br loop
+loop:
+    acc1 = phi(acc0:entry, acc2:step)
+    i1 = phi(i0:entry, i2:step)
+    mul raw, i1, scale
+    min hi, raw, 1000
+    max lo, hi, -1000
+    mac acc2, acc1, lo, 3
+    br step
+step:
+    autoadd i2, i1, 1
+    cmplt c, i2, n
+    cbr c, loop, out
+out:
+    ret acc1
+endfunc
+""", (8, 13), (5, -44))
+
+_kernel("nested_calls", """
+func nested_calls
+entry:
+    input a, b
+    call s1 = helper_mix(a, b)
+    call s2 = helper_mix(b, s1)
+    call s3 = helper_sq(s2)
+    xor r, s1, s3
+    ret r
+endfunc
+
+func helper_mix
+entry:
+    input x, y
+    shl t, x, 3
+    sub u, t, y
+    and r, u, 0xFFFF
+    ret r
+endfunc
+
+func helper_sq
+entry:
+    input x
+    mul t, x, x
+    and r, t, 0xFFFF
+    ret r
+endfunc
+""", (3, 5), (100, 2))
+
+_kernel("bitcount_table", """
+func bitcount_table
+entry:
+    input n
+    store 0, 0, #1100
+    make i0, 1
+    br build
+build:
+    i1 = phi(i0:entry, i2:build)
+    and lo, i1, 1
+    shr up, i1, 1
+    load prev, up, #1100
+    add cnt, prev, lo
+    store i1, cnt, #1100
+    add i2, i1, 1
+    cmplt c1, i2, 16
+    cbr c1, build, scan
+scan:
+    make j0, 0
+    make acc0, 0
+    br loop
+loop:
+    j1 = phi(j0:scan, j2:loop)
+    acc1 = phi(acc0:scan, acc2:loop)
+    mul v, j1, n
+    and v2, v, 15
+    load bits, v2, #1100
+    add acc2, acc1, bits
+    add j2, j1, 1
+    cmplt c2, j2, 12
+    cbr c2, loop, out
+out:
+    ret acc1
+endfunc
+""", (3,), (7,))

@@ -1,0 +1,182 @@
+"""The five simulated benchmark suites of the paper's section 5.
+
+=============  ====================================================  =========================================
+paper suite    what it was                                           what we build
+=============  ====================================================  =========================================
+``VALcc1``     ~40 small C DSP kernels, ST120 compiler #1            hand-written kernels (:mod:`.kernels`)
+``VALcc2``     the same functions, ST120 compiler #2                 the same kernels through a copy-heavy
+                                                                     "style 2" rewrite (a naive code
+                                                                     generator: extra temporaries per use)
+``example1-8`` hand-written LAI stress examples                      the paper's own figure programs
+``LAI Large``  ETSI efr 5.1.0 vocoder functions                      large seeded synthetic functions
+``SPECint``    SPEC CINT2000                                         many medium call-heavy synthetic
+                                                                     functions
+=============  ====================================================  =========================================
+
+Every suite is a :class:`Suite` with a module factory and verify runs;
+the benchmark harness replays the paper's tables over all of them.
+Absolute counts differ from the paper (different programs, different
+compiler front end); the *relative* behaviour of the algorithms is the
+reproduction target (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..ir.function import Module
+from ..ir.instructions import Instruction, Operand
+from ..ir.types import Imm
+from ..lai import parse_module
+from .figures import ALL_FIGURES
+from .kernels import KERNELS
+from .synthetic import SyntheticConfig, generate_module
+
+
+@dataclass
+class Suite:
+    """A named benchmark suite: a module plus self-check runs."""
+
+    name: str
+    module: Module
+    verify: list
+
+    def fresh(self) -> Module:
+        return self.module.copy()
+
+
+def _style2(module: Module) -> Module:
+    """The "second compiler": same programs, naive instruction selection.
+
+    The paper's VALcc1/VALcc2 are the same C functions through two
+    different ST120 compilers.  The realistic difference a second code
+    generator makes -- one that *survives* the SSA cleanup passes -- is
+    instruction selection: compiler 2 does not use the DSP 2-operand
+    forms, so every ``autoadd``/``mac``/``more`` is lowered to plain
+    3-address arithmetic.  The tied renaming constraints disappear and
+    with them some coalescing opportunities, changing the move counts
+    the way a second compiler would.
+    """
+    clone = module.copy()
+    for function in clone.iter_functions():
+        for block in function.iter_blocks():
+            new_body: list[Instruction] = []
+            for instr in block.body:
+                if instr.opcode == "autoadd":
+                    new_body.append(Instruction(
+                        "add", [op.copy() for op in instr.defs],
+                        [op.copy() for op in instr.uses]))
+                elif instr.opcode == "mac":
+                    temp = function.new_var("m2")
+                    new_body.append(Instruction(
+                        "mul", [Operand(temp, is_def=True)],
+                        [instr.uses[1].copy(), instr.uses[2].copy()]))
+                    new_body.append(Instruction(
+                        "add", [op.copy() for op in instr.defs],
+                        [instr.uses[0].copy(), Operand(temp)]))
+                elif instr.opcode == "more":
+                    imm = instr.uses[1].value
+                    assert isinstance(imm, Imm)
+                    temp = function.new_var("h2")
+                    new_body.append(Instruction(
+                        "shl", [Operand(temp, is_def=True)],
+                        [instr.uses[0].copy(), Operand(Imm(16))]))
+                    new_body.append(Instruction(
+                        "or", [op.copy() for op in instr.defs],
+                        [Operand(temp), Operand(Imm(imm.value & 0xFFFF))]))
+                else:
+                    new_body.append(instr)
+            block.body = new_body
+    return clone
+
+
+def _kernel_module() -> tuple[Module, list]:
+    sources = []
+    verify = []
+    for name, src, runs in KERNELS:
+        sources.append(src)
+        for args in runs:
+            verify.append((name, list(args)))
+    return parse_module("\n".join(sources), name="valcc"), verify
+
+
+def valcc1() -> Suite:
+    """Hand-written DSP/sort/search kernels, "compiler 1" (as written)."""
+    module, verify = _kernel_module()
+    return Suite("VALcc1", module, verify)
+
+
+def valcc2() -> Suite:
+    """The same kernels through the copy-heavy style-2 rewrite."""
+    module, verify = _kernel_module()
+    return Suite("VALcc2", _style2(module), verify)
+
+
+def examples() -> Suite:
+    """The paper's figure programs (the ``example1-8`` analogue).
+
+    Helper callees are prefixed with their figure name so the merged
+    module has no collisions (several figures define their own ``f``).
+    """
+    merged = Module("example1-8")
+    verify: list = []
+    for fig_name, factory in ALL_FIGURES.items():
+        module, runs = factory()
+        renames = {}
+        for function in module.iter_functions():
+            if function.name in merged.functions or \
+                    (function.name != fig_name
+                     and not function.name.startswith(fig_name)):
+                renames[function.name] = f"{fig_name}_{function.name}"
+        for function in module.iter_functions():
+            function.name = renames.get(function.name, function.name)
+            for instr in function.instructions():
+                if instr.opcode == "call":
+                    callee = instr.attrs["callee"]
+                    instr.attrs["callee"] = renames.get(callee, callee)
+            merged.add_function(function)
+        verify.extend((renames.get(fn, fn), args) for fn, args in runs)
+    return Suite("example1-8", merged, verify)
+
+
+def lai_large() -> Suite:
+    """Large synthetic functions: deep loops, wide phi webs."""
+    config = SyntheticConfig(n_slots=6, n_regions=10, max_depth=3,
+                             loop_prob=0.4, if_prob=0.35,
+                             shuffle_prob=0.2, tied_prob=0.3,
+                             call_prob=0.15)
+    module, verify = generate_module(20040301, n_functions=8,
+                                     config=config, name="lai_large")
+    return Suite("LAI_Large", module, verify)
+
+
+def specint() -> Suite:
+    """Many medium, call-heavy, control-flow-heavy functions."""
+    config = SyntheticConfig(n_slots=5, n_regions=7, max_depth=2,
+                             loop_prob=0.25, if_prob=0.5,
+                             shuffle_prob=0.15, tied_prob=0.15,
+                             call_prob=0.35)
+    module, verify = generate_module(20040302, n_functions=24,
+                                     config=config, name="specint")
+    return Suite("SPECint", module, verify)
+
+
+_SUITE_FACTORIES: dict[str, Callable[[], Suite]] = {
+    "VALcc1": valcc1,
+    "VALcc2": valcc2,
+    "example1-8": examples,
+    "LAI_Large": lai_large,
+    "SPECint": specint,
+}
+
+SUITE_NAMES = tuple(_SUITE_FACTORIES)
+
+
+def load_suite(name: str) -> Suite:
+    return _SUITE_FACTORIES[name]()
+
+
+def all_suites() -> list[Suite]:
+    """The five suites, in the paper's table order."""
+    return [factory() for factory in _SUITE_FACTORIES.values()]

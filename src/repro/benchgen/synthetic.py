@@ -1,0 +1,241 @@
+"""Seeded synthetic program generator.
+
+The paper's two large suites are proprietary: *LAI Large* ("larger
+functions, most of which come from the efr 5.1.0 vocoder from the
+ETSI") and *SPECint* (SPEC CINT2000 compiled to LAI).  We simulate them
+with structured random programs that exercise the same code shapes:
+
+* nested counted loops (accumulator phis at every header),
+* if/else diamonds over mutable "slots" (join phis),
+* calls to other functions of the module (ABI pressure on R0/R1/...),
+* 2-operand instructions (``autoadd``/``mac``/``more`` ties),
+* occasional multi-way slot shuffles (swap-like phi webs, the shapes
+  where greedy coalescing goes wrong).
+
+The generator emits *pre-SSA* LAI text -- slots are assigned many times
+-- and the pipeline's pruned SSA construction creates the phis, exactly
+like compiling C would.  Loops have constant trip counts, so every
+generated program terminates and the reference interpreter can check
+semantic equivalence end to end.
+
+Determinism: everything derives from the ``seed``; the same seed always
+yields byte-identical source.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..ir.function import Module
+from ..lai import parse_module
+
+_BINOPS = ["add", "sub", "mul", "and", "or", "xor", "min", "max"]
+_CMPS = ["cmplt", "cmple", "cmpgt", "cmpge", "cmpeq", "cmpne"]
+
+
+@dataclass
+class SyntheticConfig:
+    """Shape parameters of one generated function."""
+
+    n_slots: int = 4          # mutable variables (phi pressure)
+    n_regions: int = 6        # top-level statement regions
+    max_depth: int = 2        # loop/if nesting
+    loop_prob: float = 0.35
+    if_prob: float = 0.35
+    shuffle_prob: float = 0.15
+    tied_prob: float = 0.25   # chance a slot update uses autoadd/mac
+    call_prob: float = 0.2    # chance a region is a call (if callees)
+    max_trip: int = 4
+
+
+class _FunctionGen:
+    def __init__(self, rng: random.Random, name: str, arity: int,
+                 callees: list[tuple[str, int]],
+                 config: SyntheticConfig) -> None:
+        self.rng = rng
+        self.name = name
+        self.arity = arity
+        self.callees = callees
+        self.config = config
+        self.lines: list[str] = []
+        self._label = 0
+        self._temp = 0
+        self.slots = [f"s{i}" for i in range(config.n_slots)]
+
+    # ------------------------------------------------------------------
+    def fresh_label(self, base: str) -> str:
+        self._label += 1
+        return f"{base}{self._label}"
+
+    def fresh_temp(self) -> str:
+        self._temp += 1
+        return f"t{self._temp}"
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def operand(self) -> str:
+        """A random readable operand: slot or small immediate."""
+        if self.rng.random() < 0.25:
+            return str(self.rng.randint(-7, 13))
+        return self.rng.choice(self.slots)
+
+    # ------------------------------------------------------------------
+    def generate(self) -> str:
+        params = [f"p{i}" for i in range(self.arity)]
+        self.label("entry")
+        self.emit("input " + ", ".join(params) if params else "input")
+        # Seed the slots from the parameters so every path reads only
+        # defined names.
+        for i, slot in enumerate(self.slots):
+            if params:
+                src = params[i % len(params)]
+                self.emit(f"add {slot}, {src}, {i + 1}")
+            else:
+                self.emit(f"make {slot}, {7 * i + 3}")
+        for _ in range(self.config.n_regions):
+            self.region(depth=0)
+        # Fold all slots into one result.
+        acc = self.slots[0]
+        for slot in self.slots[1:]:
+            t = self.fresh_temp()
+            self.emit(f"xor {t}, {acc}, {slot}")
+            acc = t
+        self.emit(f"ret {acc}")
+        body = "\n".join(self.lines)
+        return f"func {self.name}\n{body}\nendfunc\n"
+
+    # ------------------------------------------------------------------
+    def region(self, depth: int) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if depth < self.config.max_depth and roll < self.config.loop_prob:
+            self.loop(depth)
+        elif depth < self.config.max_depth and \
+                roll < self.config.loop_prob + self.config.if_prob:
+            self.diamond(depth)
+        elif self.callees and rng.random() < self.config.call_prob:
+            self.call()
+        elif rng.random() < self.config.shuffle_prob:
+            self.shuffle()
+        else:
+            self.straight()
+
+    def straight(self) -> None:
+        """A few slot updates; sometimes through tied 2-operand ops."""
+        rng = self.rng
+        for _ in range(rng.randint(1, 3)):
+            slot = rng.choice(self.slots)
+            if rng.random() < self.config.tied_prob:
+                kind = rng.choice(["autoadd", "mac", "more"])
+                if kind == "autoadd":
+                    self.emit(f"autoadd {slot}, {slot}, "
+                              f"{rng.randint(1, 5)}")
+                elif kind == "mac":
+                    a, b = self.operand(), self.operand()
+                    self.emit(f"mac {slot}, {slot}, {a}, {b}")
+                else:
+                    self.emit(f"more {slot}, {slot}, "
+                              f"{rng.randint(0, 0xFFFF)}")
+            else:
+                op = rng.choice(_BINOPS)
+                self.emit(f"{op} {slot}, {self.operand()}, "
+                          f"{self.operand()}")
+
+    def shuffle(self) -> None:
+        """Swap two slots through a temp: the classic exchange that copy
+        propagation turns into a swap phi pair (paper Figure 10)."""
+        rng = self.rng
+        k = 2
+        chosen = rng.sample(self.slots, k)
+        t = self.fresh_temp()
+        self.emit(f"copy {t}, {chosen[0]}")
+        for i in range(len(chosen) - 1):
+            self.emit(f"copy {chosen[i]}, {chosen[i + 1]}")
+        self.emit(f"copy {chosen[-1]}, {t}")
+
+    def call(self) -> None:
+        rng = self.rng
+        callee, arity = rng.choice(self.callees)
+        args = ", ".join(rng.choice(self.slots) for _ in range(arity))
+        dest = rng.choice(self.slots)
+        self.emit(f"call {dest} = {callee}({args})")
+
+    def diamond(self, depth: int) -> None:
+        rng = self.rng
+        then_l = self.fresh_label("then")
+        else_l = self.fresh_label("else")
+        join_l = self.fresh_label("join")
+        cond = self.fresh_temp()
+        self.emit(f"and {cond}, {rng.choice(self.slots)}, 1")
+        self.emit(f"cbr {cond}, {then_l}, {else_l}")
+        self.label(then_l)
+        self.region(depth + 1)
+        self.emit(f"br {join_l}")
+        self.label(else_l)
+        if rng.random() < 0.7:
+            self.region(depth + 1)
+        self.emit(f"br {join_l}")
+        self.label(join_l)
+
+    def loop(self, depth: int) -> None:
+        rng = self.rng
+        head = self.fresh_label("head")
+        body = self.fresh_label("body")
+        exit_l = self.fresh_label("exit")
+        i = self.fresh_temp()
+        c = self.fresh_temp()
+        trip = rng.randint(2, self.config.max_trip)
+        self.emit(f"make {i}, 0")
+        self.emit(f"br {head}")
+        self.label(head)
+        self.emit(f"cmplt {c}, {i}, {trip}")
+        self.emit(f"cbr {c}, {body}, {exit_l}")
+        self.label(body)
+        for _ in range(rng.randint(1, 2)):
+            self.region(depth + 1)
+        self.emit(f"add {i}, {i}, 1")
+        self.emit(f"br {head}")
+        self.label(exit_l)
+
+
+def generate_function_source(seed: int, name: str, arity: int,
+                             callees: list[tuple[str, int]] | None = None,
+                             config: SyntheticConfig | None = None) -> str:
+    """LAI source of one synthetic function."""
+    rng = random.Random(seed)
+    gen = _FunctionGen(rng, name, arity, callees or [],
+                       config or SyntheticConfig())
+    return gen.generate()
+
+
+def generate_module(seed: int, n_functions: int = 6,
+                    config: SyntheticConfig | None = None,
+                    name: str = "synthetic") -> tuple[Module, list]:
+    """A module of synthetic functions plus verify runs.
+
+    The first half of the functions are leaves; later functions may
+    call earlier ones (no recursion, bounded call depth).
+    """
+    rng = random.Random(seed)
+    config = config or SyntheticConfig()
+    sources = []
+    signature: list[tuple[str, int]] = []
+    for index in range(n_functions):
+        fn_name = f"{name}_f{index}"
+        arity = rng.randint(1, 3)
+        callees = signature[: index] if index >= n_functions // 2 else []
+        sources.append(generate_function_source(
+            rng.randrange(1 << 30), fn_name, arity, callees, config))
+        signature.append((fn_name, arity))
+    module = parse_module("\n".join(sources), name=name)
+    verify = []
+    for fn_name, arity in signature:
+        for _ in range(2):
+            args = [rng.randint(-5, 40) for _ in range(arity)]
+            verify.append((fn_name, args))
+    return module, verify

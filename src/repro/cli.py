@@ -1,0 +1,188 @@
+"""Command-line interface: compile and run LAI programs.
+
+Usage (also via ``python -m repro``):
+
+.. code-block:: text
+
+    repro compile prog.lai                 # the paper's full pipeline
+    repro compile prog.lai -e C            # any Table 1 experiment
+    repro compile prog.lai --variant opt   # Table 5 coalescer variants
+    repro compile prog.lai --show-ssa      # dump the pinned SSA too
+    repro run prog.lai main 3 4            # interpret a function
+    repro experiments prog.lai             # move counts for all pipelines
+    repro tables                           # the paper's tables on the
+                                           # simulated suites
+
+The compiler prints the transformed module to stdout (or ``-o FILE``)
+plus a statistics footer on stderr, so output can be piped or diffed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .interp import InterpreterError, run_module
+from .ir.printer import format_module
+from .lai import LaiSyntaxError, parse_module
+from .pipeline import (EXPERIMENTS, PhaseOptions, run_experiment,
+                       table5_variants)
+
+
+def _load(path: str):
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    try:
+        return parse_module(source, name=path)
+    except LaiSyntaxError as error:
+        raise SystemExit(f"{path}: {error}")
+
+
+def _options(args) -> Optional[PhaseOptions]:
+    if args.variant == "base":
+        return None
+    return table5_variants()[args.variant]
+
+
+def cmd_compile(args) -> int:
+    module = _load(args.file)
+    verify = None
+    if args.verify:
+        name, *call_args = args.verify
+        verify = [(name, [int(a, 0) for a in call_args])]
+    if args.show_ssa:
+        from .machine.constraints import pinning_abi, pinning_sp
+        from .outofssa import coalesce_phis
+        from .pipeline import ensure_ssa
+        from .ssa import optimize_ssa
+
+        shown = module.copy()
+        for function in shown.iter_functions():
+            ensure_ssa(function)
+            optimize_ssa(function)
+            pinning_sp(function)
+            if "pinningABI" in EXPERIMENTS[args.experiment]:
+                pinning_abi(function)
+            if "pinningPhi" in EXPERIMENTS[args.experiment]:
+                coalesce_phis(function)
+        print("; ---- pinned SSA ----", file=sys.stderr)
+        print(format_module(shown), file=sys.stderr)
+
+    result = run_experiment(module, args.experiment,
+                            options=_options(args), verify=verify)
+    text = format_module(result.module)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+    print(f"; experiment={args.experiment} moves={result.moves} "
+          f"weighted={result.weighted} "
+          f"instructions={result.instructions}", file=sys.stderr)
+    return 0
+
+
+def cmd_run(args) -> int:
+    module = _load(args.file)
+    try:
+        trace = run_module(module, args.function,
+                           [int(a, 0) for a in args.args])
+    except InterpreterError as error:
+        print(f"runtime error: {error}", file=sys.stderr)
+        return 1
+    print(" ".join(str(v) for v in trace.results))
+    if args.trace:
+        for addr, value in trace.stores:
+            print(f"store [{addr}] = {value}", file=sys.stderr)
+        for callee, call_args in trace.calls:
+            print(f"call {callee}{call_args}", file=sys.stderr)
+        print(f"steps: {trace.steps}", file=sys.stderr)
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    module = _load(args.file)
+    print(f"{'experiment':<14}{'moves':>7}{'weighted':>10}{'instrs':>8}")
+    for name in EXPERIMENTS:
+        result = run_experiment(module, name)
+        print(f"{name:<14}{result.moves:>7}{result.weighted:>10}"
+              f"{result.instructions:>8}")
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from .benchgen import all_suites
+    from .pipeline import TABLE_EXPERIMENTS
+
+    suites = all_suites()
+    for table, experiments in TABLE_EXPERIMENTS.items():
+        print(f"--- {table} ---")
+        header = "suite".ljust(13) + "".join(
+            e.rjust(14) for e in experiments)
+        print(header)
+        for suite in suites:
+            cells = []
+            for experiment in experiments:
+                result = run_experiment(suite.module, experiment)
+                value = result.weighted if args.weighted else result.moves
+                cells.append(str(value).rjust(14))
+            print(suite.name.ljust(13) + "".join(cells))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Out-of-SSA translation with renaming constraints "
+                    "(CGO 2004 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = sub.add_parser(
+        "compile", help="translate an LAI module out of SSA")
+    compile_p.add_argument("file")
+    compile_p.add_argument("-e", "--experiment", default="Lphi,ABI+C",
+                           choices=sorted(EXPERIMENTS),
+                           help="pipeline to run (paper Table 1 name)")
+    compile_p.add_argument("--variant", default="base",
+                           choices=["base", "depth", "opt", "pess"],
+                           help="coalescer variant (paper Table 5)")
+    compile_p.add_argument("-o", "--output", help="write result here")
+    compile_p.add_argument("--show-ssa", action="store_true",
+                           help="dump the pinned SSA to stderr first")
+    compile_p.add_argument("--verify", nargs="+", metavar="FN/ARG",
+                           help="function name and int args to replay "
+                                "before/after as a semantic check")
+    compile_p.set_defaults(fn=cmd_compile)
+
+    run_p = sub.add_parser("run", help="interpret a function")
+    run_p.add_argument("file")
+    run_p.add_argument("function")
+    run_p.add_argument("args", nargs="*")
+    run_p.add_argument("--trace", action="store_true",
+                       help="print stores/calls/step count to stderr")
+    run_p.set_defaults(fn=cmd_run)
+
+    exp_p = sub.add_parser(
+        "experiments", help="move counts for every pipeline")
+    exp_p.add_argument("file")
+    exp_p.set_defaults(fn=cmd_experiments)
+
+    tables_p = sub.add_parser(
+        "tables", help="paper tables over the simulated suites")
+    tables_p.add_argument("--weighted", action="store_true",
+                          help="report 5^depth-weighted counts")
+    tables_p.set_defaults(fn=cmd_tables)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Reference interpreter for the machine-level IR."""
+
+from .interpreter import (InterpreterError, Interpreter, Trace,
+                          run_function, run_module)
+
+__all__ = ["Interpreter", "InterpreterError", "Trace", "run_function",
+           "run_module"]

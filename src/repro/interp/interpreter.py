@@ -1,0 +1,251 @@
+"""A reference interpreter for the IR, SSA-aware and pin-agnostic.
+
+The interpreter is the correctness oracle of the whole reproduction:
+every out-of-SSA translation is validated by running the program before
+and after the transformation on the same inputs and comparing results
+(and, optionally, the trace of ``store`` effects).
+
+Semantics highlights
+--------------------
+* phi instructions execute with *parallel* semantics on block entry:
+  all arguments corresponding to the traversed edge are read first, then
+  all definitions are written.  This is the "multiplexing" semantics the
+  paper assumes (section 2.2, Case 3 and the Class 2 liveness note).
+* ``pcopy`` is a parallel copy: sources read before destinations written,
+  so an unsequentialized swap ``(a, b) := (b, a)`` behaves correctly.
+* Pins are *ignored*: they constrain renaming, not runtime behaviour.
+* Reading a never-written variable or register raises
+  :class:`InterpreterError` -- silent zero-filling would mask
+  translation bugs such as the lost-copy problem.
+* ``psi`` takes ``(guard, value)`` pairs; the *last* pair whose guard is
+  non-zero wins, matching psi-SSA's textual-order priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..ir.function import Function, Module
+from ..ir.instructions import Instruction, Operand
+from ..ir.types import Imm, Value, wrap32
+
+
+class InterpreterError(Exception):
+    """Runtime error: undefined read, bad call, step limit, ..."""
+
+
+@dataclass
+class Trace:
+    """Observable effects of one program run, used for equivalence checks."""
+
+    results: tuple = ()
+    stores: list = field(default_factory=list)
+    calls: list = field(default_factory=list)
+    steps: int = 0
+
+    def observable(self) -> tuple:
+        """Everything a translation must preserve."""
+        return (self.results, tuple(self.stores), tuple(self.calls))
+
+
+class _Frame:
+    __slots__ = ("function", "env", "block", "prev_block", "index")
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.env: dict[Value, int] = {}
+        self.block = function.entry
+        self.prev_block: Optional[str] = None
+        self.index = 0
+
+
+class Interpreter:
+    """Executes a :class:`~repro.ir.function.Module`.
+
+    Parameters
+    ----------
+    module:
+        The program.  Call instructions resolve against
+        ``module.functions`` first, then ``module.externals``.
+    max_steps:
+        Global instruction budget; exceeded means
+        :class:`InterpreterError` (guards against broken branch rewrites
+        producing infinite loops).
+    """
+
+    def __init__(self, module: Module, max_steps: int = 2_000_000) -> None:
+        self.module = module
+        self.max_steps = max_steps
+        self.memory: dict[int, int] = {}
+        self.trace = Trace()
+
+    # ------------------------------------------------------------------
+    def run(self, function_name: str, args: Sequence[int] = (),
+            memory: Optional[dict[int, int]] = None) -> Trace:
+        """Run *function_name* on integer *args*; return the trace."""
+        self.memory = dict(memory or {})
+        self.trace = Trace()
+        results = self._call(self.module.function(function_name), list(args),
+                             depth=0)
+        self.trace.results = tuple(results)
+        return self.trace
+
+    # ------------------------------------------------------------------
+    def _call(self, function: Function, args: list[int],
+              depth: int) -> list[int]:
+        if depth > 64:
+            raise InterpreterError("call depth exceeded")
+        frame = _Frame(function)
+        entered_params = False
+        while True:
+            block = function.blocks[frame.block]
+            # 1. phis, in parallel, against the edge we arrived through.
+            if block.phis:
+                if frame.prev_block is None:
+                    raise InterpreterError(
+                        f"{function.name}: phis in entry block "
+                        f"{block.label}")
+                values = [self._read(frame, phi.phi_arg_for(frame.prev_block))
+                          for phi in block.phis]
+                for phi, value in zip(block.phis, values):
+                    frame.env[phi.defs[0].value] = value
+                self._tick(len(block.phis))
+            # 2. body.
+            next_label: Optional[str] = None
+            for instr in block.body:
+                self._tick(1)
+                op = instr.opcode
+                if op == "input":
+                    if entered_params:
+                        raise InterpreterError(
+                            f"{function.name}: second input instruction")
+                    if len(instr.defs) != len(args):
+                        raise InterpreterError(
+                            f"{function.name}: expected {len(instr.defs)} "
+                            f"arguments, got {len(args)}")
+                    for dst, value in zip(instr.defs, args):
+                        frame.env[dst.value] = wrap32(value)
+                    entered_params = True
+                elif op == "ret":
+                    return [self._read(frame, use) for use in instr.uses]
+                elif op in ("br", "cbr"):
+                    next_label = self._branch(frame, instr)
+                    break
+                elif op == "call":
+                    self._exec_call(frame, instr, depth)
+                elif op == "pcopy":
+                    values = [self._read(frame, src) for src in instr.uses]
+                    for dst, value in zip(instr.defs, values):
+                        frame.env[dst.value] = value
+                elif op == "psi":
+                    self._exec_psi(frame, instr)
+                elif op == "load":
+                    addr = self._read(frame, instr.uses[0])
+                    addr += instr.attrs.get("offset", 0)
+                    if addr not in self.memory:
+                        raise InterpreterError(
+                            f"{function.name}: load from uninitialized "
+                            f"address {addr}")
+                    frame.env[instr.defs[0].value] = self.memory[addr]
+                elif op == "store":
+                    addr = self._read(frame, instr.uses[0])
+                    addr += instr.attrs.get("offset", 0)
+                    value = self._read(frame, instr.uses[1])
+                    self.memory[addr] = value
+                    self.trace.stores.append((addr, value))
+                else:
+                    self._exec_simple(frame, instr)
+            if next_label is None:
+                raise InterpreterError(
+                    f"{function.name}: block {block.label} fell through")
+            frame.prev_block = frame.block
+            frame.block = next_label
+
+    # ------------------------------------------------------------------
+    def _exec_simple(self, frame: _Frame, instr: Instruction) -> None:
+        spec = instr.spec
+        if spec.evaluate is None:
+            raise InterpreterError(f"cannot evaluate opcode {instr.opcode}")
+        args = [self._read(frame, use) for use in instr.uses]
+        results = spec.evaluate(*args)
+        for dst, value in zip(instr.defs, results):
+            frame.env[dst.value] = value
+
+    def _exec_call(self, frame: _Frame, instr: Instruction,
+                   depth: int) -> None:
+        callee = instr.attrs["callee"]
+        args = [self._read(frame, use) for use in instr.uses]
+        self.trace.calls.append((callee, tuple(args)))
+        if callee in self.module.functions:
+            results = self._call(self.module.functions[callee], args,
+                                 depth + 1)
+        elif callee in self.module.externals:
+            raw = self.module.externals[callee](*args)
+            if raw is None:
+                results = []
+            elif isinstance(raw, tuple):
+                results = [wrap32(v) for v in raw]
+            else:
+                results = [wrap32(raw)]
+        else:
+            raise InterpreterError(f"call to unknown function {callee!r}")
+        if len(results) < len(instr.defs):
+            raise InterpreterError(
+                f"{callee} returned {len(results)} values, "
+                f"{len(instr.defs)} expected")
+        for dst, value in zip(instr.defs, results):
+            frame.env[dst.value] = value
+
+    def _exec_psi(self, frame: _Frame, instr: Instruction) -> None:
+        result: Optional[int] = None
+        for guard, value in instr.psi_pairs():
+            if self._read(frame, guard):
+                result = self._read(frame, value)
+        if result is None:
+            raise InterpreterError(
+                f"psi with no satisfied guard: {instr}")
+        frame.env[instr.defs[0].value] = result
+
+    def _branch(self, frame: _Frame, instr: Instruction) -> str:
+        targets = instr.attrs["targets"]
+        if instr.opcode == "br":
+            return targets[0]
+        cond = self._read(frame, instr.uses[0])
+        return targets[0] if cond else targets[1]
+
+    # ------------------------------------------------------------------
+    def _read(self, frame: _Frame, op: Operand) -> int:
+        value = op.value
+        if isinstance(value, Imm):
+            return wrap32(value.value)
+        if value not in frame.env:
+            raise InterpreterError(
+                f"{frame.function.name}: read of undefined {value} "
+                f"in block {frame.block}")
+        return frame.env[value]
+
+    def _tick(self, n: int) -> None:
+        self.trace.steps += n
+        if self.trace.steps > self.max_steps:
+            raise InterpreterError("step limit exceeded")
+
+
+def run_module(module: Module, function_name: str,
+               args: Sequence[int] = (),
+               memory: Optional[dict[int, int]] = None,
+               max_steps: int = 2_000_000) -> Trace:
+    """Convenience wrapper: run one function of *module*."""
+    return Interpreter(module, max_steps).run(function_name, args, memory)
+
+
+def run_function(function: Function, args: Sequence[int] = (),
+                 memory: Optional[dict[int, int]] = None,
+                 externals: Optional[dict[str, object]] = None,
+                 max_steps: int = 2_000_000) -> Trace:
+    """Run a standalone function (wrapped in a throwaway module)."""
+    module = Module("__anon__")
+    module.functions[function.name] = function
+    for name, fn in (externals or {}).items():
+        module.add_external(name, fn)
+    return Interpreter(module, max_steps).run(function.name, args, memory)

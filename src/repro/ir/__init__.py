@@ -1,0 +1,35 @@
+"""Machine-level intermediate representation.
+
+The IR models the paper's setting: a pseudo-assembly program over
+unlimited virtual registers plus dedicated physical registers, with SSA
+phi instructions, parallel copies and operand *pinning* annotations
+(``x^R0``).  See :mod:`repro.ir.instructions` for the instruction set.
+"""
+
+from .basicblock import BasicBlock
+from .builder import FunctionBuilder
+from .cfg import (has_critical_edges, predecessors_map,
+                  remove_unreachable_blocks, reverse_postorder,
+                  split_critical_edges)
+from .function import Function, Module
+from .instructions import (OPCODES, Instruction, OpSpec, Operand,
+                           make_branch, make_cond_branch, make_copy,
+                           make_pcopy, make_phi)
+from .printer import (format_block, format_function, format_instruction,
+                      format_module, format_operand)
+from .types import (Imm, PhysReg, RegClass, Resource, Value, Var,
+                    is_resource, wrap32)
+from .validate import ValidationError, validate_function, validate_module
+
+__all__ = [
+    "BasicBlock", "FunctionBuilder", "Function", "Module",
+    "Instruction", "OpSpec", "Operand", "OPCODES",
+    "make_branch", "make_cond_branch", "make_copy", "make_pcopy", "make_phi",
+    "format_block", "format_function", "format_instruction", "format_module",
+    "format_operand",
+    "Imm", "PhysReg", "RegClass", "Resource", "Value", "Var", "is_resource",
+    "wrap32",
+    "ValidationError", "validate_function", "validate_module",
+    "has_critical_edges", "predecessors_map", "remove_unreachable_blocks",
+    "reverse_postorder", "split_critical_edges",
+]

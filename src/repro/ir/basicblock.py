@@ -1,0 +1,102 @@
+"""Basic blocks: a phi prefix, a straight-line body, and one terminator.
+
+Blocks keep phi instructions in a separate list from the body because the
+set of phis at a block entry has *parallel* semantics (paper section 2.2):
+they all "execute" simultaneously on each incoming edge, which matters
+both to the interpreter and to the interference rules (Case 3 of
+Figure 4: two phi definitions in the same block may not be pinned to the
+same resource).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .instructions import Instruction
+from .types import Var
+
+
+class BasicBlock:
+    """A labeled basic block.
+
+    Attributes
+    ----------
+    label:
+        Unique label within the function.
+    phis:
+        phi instructions at the block entry (order irrelevant,
+        semantics parallel).
+    body:
+        All non-phi instructions; the last one must be a terminator
+        (``br`` / ``cbr`` / ``ret``) once the function is complete.
+    """
+
+    __slots__ = ("label", "phis", "body")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.phis: list[Instruction] = []
+        self.body: list[Instruction] = []
+
+    # ------------------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions: phis first, then the body."""
+        yield from self.phis
+        yield from self.body
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.body and self.body[-1].is_terminator:
+            return self.body[-1]
+        return None
+
+    def successors(self) -> list[str]:
+        term = self.terminator
+        if term is None:
+            return []
+        return term.targets()
+
+    def append(self, instr: Instruction) -> Instruction:
+        """Append *instr*, keeping phis in the phi list."""
+        if instr.is_phi:
+            self.phis.append(instr)
+        else:
+            self.body.append(instr)
+        return instr
+
+    def insert_before_terminator(self, instr: Instruction) -> None:
+        """Insert *instr* just before the terminator (or at the end)."""
+        if self.terminator is not None:
+            self.body.insert(len(self.body) - 1, instr)
+        else:
+            self.body.append(instr)
+
+    def insert_at_entry(self, instr: Instruction) -> None:
+        """Insert *instr* as early as possible in the body.
+
+        Skips a leading ``input`` pseudo-instruction: nothing may execute
+        before the parameters are defined.
+        """
+        index = 0
+        if self.body and self.body[0].opcode == "input":
+            index = 1
+        self.body.insert(index, instr)
+
+    def remove(self, instr: Instruction) -> None:
+        if instr.is_phi:
+            self.phis.remove(instr)
+        else:
+            self.body.remove(instr)
+
+    def phi_defs(self) -> list[Var]:
+        return [phi.defs[0].value for phi in self.phis
+                if isinstance(phi.defs[0].value, Var)]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return self.instructions()
+
+    def __len__(self) -> int:
+        return len(self.phis) + len(self.body)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label}: {len(self)} instrs>"

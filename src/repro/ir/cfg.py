@@ -1,0 +1,142 @@
+"""Control-flow-graph utilities: edges, orders, edge splitting.
+
+These helpers are pure queries except :func:`split_critical_edges`,
+which rewrites the function in place.  Out-of-SSA translation places the
+copies for a phi "at the end of each predecessor basic block" (paper,
+Class 2 discussion); with a *critical* edge -- from a block with several
+successors to a block with several predecessors -- that placement would
+execute the copy on the wrong paths too, so every algorithm in
+:mod:`repro.outofssa` requires critical edges to have been split first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .function import Function
+from .instructions import make_branch
+
+
+def successors(function: Function, label: str) -> list[str]:
+    return function.blocks[label].successors()
+
+
+def predecessors_map(function: Function) -> dict[str, list[str]]:
+    """Label -> ordered list of predecessor labels (duplicates preserved:
+    a 2-way branch with both targets equal yields the predecessor twice,
+    matching the phi operand structure)."""
+    preds: dict[str, list[str]] = {label: [] for label in function.blocks}
+    for label, block in function.blocks.items():
+        for succ in block.successors():
+            # Tolerate dangling targets: the validator reports them with
+            # a proper diagnostic instead of this query crashing first.
+            preds.setdefault(succ, []).append(label)
+    return preds
+
+
+def reverse_postorder(function: Function) -> list[str]:
+    """Reverse postorder over blocks reachable from the entry."""
+    visited: set[str] = set()
+    postorder: list[str] = []
+    # Iterative DFS so deep CFGs (synthetic suites) don't hit the
+    # Python recursion limit.
+    stack: list[tuple[str, Iterator[str]]] = []
+    entry = function.entry
+    assert entry is not None
+    visited.add(entry)
+    stack.append((entry, iter(function.blocks[entry].successors())))
+    while stack:
+        label, succ_iter = stack[-1]
+        advanced = False
+        for succ in succ_iter:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(function.blocks[succ].successors())))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(label)
+            stack.pop()
+    postorder.reverse()
+    return postorder
+
+
+def reachable_labels(function: Function) -> set[str]:
+    return set(reverse_postorder(function))
+
+
+def remove_unreachable_blocks(function: Function) -> list[str]:
+    """Delete unreachable blocks; returns the removed labels.
+
+    phi operands flowing from removed predecessors are dropped as well.
+    """
+    live = reachable_labels(function)
+    removed = [label for label in function.blocks if label not in live]
+    for label in removed:
+        del function.blocks[label]
+    if removed:
+        gone = set(removed)
+        for block in function.iter_blocks():
+            for phi in block.phis:
+                pairs = [(lbl, op) for lbl, op in phi.phi_pairs()
+                         if lbl not in gone]
+                phi.attrs["incoming"] = [lbl for lbl, _ in pairs]
+                phi.uses = [op for _, op in pairs]
+    return removed
+
+
+def is_critical_edge(function: Function, src: str, dst: str,
+                     preds: dict[str, list[str]] | None = None) -> bool:
+    if preds is None:
+        preds = predecessors_map(function)
+    return (len(function.blocks[src].successors()) > 1
+            and len(preds[dst]) > 1)
+
+
+def split_critical_edges(function: Function) -> list[str]:
+    """Split every critical edge by inserting a fresh forwarding block.
+
+    Returns the labels of the blocks created.  phi ``incoming`` labels in
+    the destination blocks are retargeted to the new block.
+    """
+    preds = predecessors_map(function)
+    created: list[str] = []
+    for src_label in list(function.blocks):
+        src = function.blocks[src_label]
+        term = src.terminator
+        if term is None or len(set(term.targets())) < 2:
+            continue
+        new_targets = []
+        for dst_label in term.targets():
+            if len(preds[dst_label]) <= 1:
+                new_targets.append(dst_label)
+                continue
+            mid_label = function.new_label(f"{src_label}.{dst_label}")
+            mid = function.add_block(mid_label)
+            mid.append(make_branch(dst_label))
+            created.append(mid_label)
+            # Retarget phis in the destination: the incoming edge now
+            # arrives from the forwarding block.
+            for phi in function.blocks[dst_label].phis:
+                incoming = phi.attrs["incoming"]
+                for i, lbl in enumerate(incoming):
+                    if lbl == src_label:
+                        incoming[i] = mid_label
+                        break
+            preds[dst_label].remove(src_label)
+            preds[dst_label].append(mid_label)
+            preds[mid_label] = [src_label]
+            new_targets.append(mid_label)
+        term.attrs["targets"] = new_targets
+    return created
+
+
+def has_critical_edges(function: Function) -> bool:
+    preds = predecessors_map(function)
+    for label, block in function.blocks.items():
+        succs = block.successors()
+        if len(succs) > 1:
+            for succ in succs:
+                if len(preds[succ]) > 1:
+                    return True
+    return False

@@ -1,0 +1,123 @@
+"""Graphviz DOT export of the structures this project reasons about.
+
+Debugging out-of-SSA decisions is graph-shaped work: the CFG, the
+dominator tree, the interference graph and the per-block affinity
+graphs.  Each exporter returns DOT text (no Graphviz dependency; paste
+into any renderer).
+
+Example::
+
+    from repro.ir.dot import cfg_to_dot
+    print(cfg_to_dot(function))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .function import Function
+from .printer import format_instruction
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(function: Function, include_code: bool = True) -> str:
+    """The control-flow graph; blocks show their instructions."""
+    lines = [f'digraph "{_escape(function.name)}" {{',
+             '  node [shape=box, fontname="monospace"];']
+    for label, block in function.blocks.items():
+        if include_code:
+            body = "\\l".join(
+                _escape(format_instruction(i)) for i in block.instructions())
+            lines.append(f'  "{label}" [label="{label}:\\l{body}\\l"];')
+        else:
+            lines.append(f'  "{label}";')
+    for label, block in function.blocks.items():
+        for succ in block.successors():
+            lines.append(f'  "{label}" -> "{succ}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def domtree_to_dot(function: Function) -> str:
+    """The dominator tree."""
+    from ..analysis.dominance import DominatorTree
+
+    tree = DominatorTree(function)
+    lines = [f'digraph "dom_{_escape(function.name)}" {{',
+             "  node [shape=ellipse];"]
+    for label in tree.order:
+        lines.append(f'  "{label}";')
+        parent = tree.idom[label]
+        if parent is not None:
+            lines.append(f'  "{parent}" -> "{label}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def interference_to_dot(function: Function,
+                        max_nodes: Optional[int] = None) -> str:
+    """The (post-SSA) interference graph; copy-related pairs dashed."""
+    from ..analysis.interference import InterferenceGraph
+    from ..analysis.liveness import Liveness
+
+    graph = InterferenceGraph(function, Liveness(function))
+    move_pairs = set()
+    for instr in function.instructions():
+        if instr.is_copy:
+            move_pairs.add(frozenset((instr.defs[0].value,
+                                      instr.uses[0].value)))
+    nodes = sorted(graph.adjacency, key=str)
+    if max_nodes is not None:
+        nodes = nodes[:max_nodes]
+    keep = set(nodes)
+    lines = [f'graph "interference_{_escape(function.name)}" {{',
+             "  node [shape=circle];"]
+    for node in nodes:
+        lines.append(f'  "{node}";')
+    emitted = set()
+    for node in nodes:
+        for other in graph.adjacency[node]:
+            if other not in keep:
+                continue
+            key = frozenset((node, other))
+            if key in emitted:
+                continue
+            emitted.add(key)
+            lines.append(f'  "{node}" -- "{other}";')
+    for pair in move_pairs:
+        if len(pair) == 2 and pair <= keep and pair not in emitted:
+            a, b = sorted(pair, key=str)
+            lines.append(f'  "{a}" -- "{b}" [style=dashed, '
+                         f'label="move"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def affinity_to_dot(function: Function, label: str) -> str:
+    """The paper's affinity graph for one block: affinity edges solid
+    with multiplicities, interferences between the involved resources
+    dotted red (the rendering style of the paper's Figure 7)."""
+    from ..outofssa.pinning_coalescer import _Coalescer
+
+    coalescer = _Coalescer(function, "base", False, False,
+                           "inner-to-outer", True)
+    _, edges = coalescer._affinity_graph(label, None)
+    interfere = coalescer._interference_predicate()
+    vertices = sorted({v for key in edges for v in key}, key=str)
+    lines = [f'graph "affinity_{_escape(function.name)}_{label}" {{',
+             "  node [shape=box];"]
+    for vertex in vertices:
+        lines.append(f'  "{vertex}";')
+    for (a, b), mult in sorted(edges.items(), key=str):
+        attr = f' [label="x{mult}"]' if mult > 1 else ""
+        lines.append(f'  "{a}" -- "{b}"{attr};')
+    for i, a in enumerate(vertices):
+        for b in vertices[i + 1:]:
+            if interfere(a, b):
+                lines.append(f'  "{a}" -- "{b}" [style=dotted, '
+                             f'color=red];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Textual rendering of the IR, round-trippable through the LAI parser.
+
+The syntax intentionally looks like the paper's pseudo assembly:
+
+.. code-block:: text
+
+    func f
+    entry:
+        input C^R0, P^P0
+        load A, P
+        autoadd Q^Q, P^Q, 1
+        load B, Q
+        call D^R0 = f(A^R0, B^R1)
+        add E, C, D
+        make L, 0x00A1
+        more K^K, L^K, 0x2BFA
+        sub F, E, K
+        ret F^R0
+
+Pins are printed as ``value^resource`` (the paper's :math:`x\\uparrow r`);
+physical registers are prefixed with ``$`` when used as plain operands,
+but bare inside a pin position (``D^R0``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .function import Function, Module
+from .instructions import Instruction, Operand
+from .types import PhysReg
+
+
+def format_operand(op: Operand) -> str:
+    text = str(op.value)
+    if op.pin is not None:
+        pin = op.pin.name if isinstance(op.pin, PhysReg) else str(op.pin)
+        text += f"^{pin}"
+    return text
+
+
+def _operand_list(ops: Iterable[Operand]) -> str:
+    return ", ".join(format_operand(op) for op in ops)
+
+
+def format_instruction(instr: Instruction) -> str:
+    op = instr.opcode
+    if op == "phi":
+        args = ", ".join(
+            f"{format_operand(use)}:{label}"
+            for label, use in instr.phi_pairs())
+        return f"{_operand_list(instr.defs)} = phi({args})"
+    if op == "pcopy":
+        pairs = ", ".join(
+            f"{format_operand(d)} <- {format_operand(s)}"
+            for d, s in instr.pcopy_pairs())
+        return f"pcopy {pairs}"
+    if op == "psi":
+        pairs = ", ".join(
+            f"{format_operand(g)} ? {format_operand(v)}"
+            for g, v in instr.psi_pairs())
+        return f"{_operand_list(instr.defs)} = psi({pairs})"
+    if op == "call":
+        callee = instr.attrs.get("callee", "?")
+        lhs = _operand_list(instr.defs)
+        rhs = f"{callee}({_operand_list(instr.uses)})"
+        return f"call {lhs} = {rhs}" if lhs else f"call {rhs}"
+    if op == "br":
+        return f"br {instr.attrs['targets'][0]}"
+    if op == "cbr":
+        taken, fallthrough = instr.attrs["targets"]
+        return f"cbr {format_operand(instr.uses[0])}, {taken}, {fallthrough}"
+    if op == "ret":
+        return f"ret {_operand_list(instr.uses)}".rstrip()
+    if op == "input":
+        return f"input {_operand_list(instr.defs)}"
+    if op in ("load", "store") and instr.attrs.get("offset"):
+        parts = _operand_list(instr.defs + instr.uses)
+        return f"{op} {parts}, #{instr.attrs['offset']}"
+    parts = _operand_list(instr.defs + instr.uses)
+    return f"{op} {parts}"
+
+
+def format_block(block, indent: str = "    ") -> str:
+    lines = [f"{block.label}:"]
+    for instr in block.instructions():
+        lines.append(indent + format_instruction(instr))
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    lines = [f"func {function.name}"]
+    for block in function.iter_blocks():
+        lines.append(format_block(block))
+    lines.append("endfunc")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    return "\n\n".join(format_function(f) for f in module.iter_functions())

@@ -1,0 +1,13 @@
+"""LAI-like assembly front end (lexer + parser).
+
+The paper's LAO tool "converts a program written in the Linear Assembly
+Input (LAI) language into the final assembly language"; our dialect plays
+the same role for this reproduction: benchmarks, figures and examples are
+written as readable assembly text and parsed into the IR.
+"""
+
+from .lexer import LaiSyntaxError, Token, tokenize
+from .parser import Parser, parse_function, parse_module
+
+__all__ = ["LaiSyntaxError", "Token", "tokenize", "Parser",
+           "parse_function", "parse_module"]

@@ -1,0 +1,82 @@
+"""Tokenizer for the LAI-like assembly language.
+
+The language is line-oriented; the lexer produces a token stream per
+line.  Comments start with ``;`` or ``//`` and run to end of line.
+
+Token kinds
+-----------
+``IDENT``   identifiers: opcodes, labels, variable names (``x``, ``x.3``)
+``REG``     ``$R0``-style explicit physical register references
+``NUM``     integer literals, decimal or ``0x`` hexadecimal, may be signed
+``PUNCT``   one of ``: , = ( ) ^ ? #`` and the arrow ``<-``
+``NEWLINE`` end of a logical line
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class LaiSyntaxError(Exception):
+    """Lexical or syntactic error in LAI source."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t]+)
+  | (?P<comment>;[^\n]*|//[^\n]*)
+  | (?P<reg>\$[A-Za-z][A-Za-z0-9]*)
+  | (?P<num>-?0[xX][0-9a-fA-F]+|-?[0-9]+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<arrow><-)
+  | (?P<punct>[:,=()^?#])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens for *source*; NEWLINE between logical lines."""
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        pos = 0
+        emitted = False
+        while pos < len(line):
+            match = _TOKEN_RE.match(line, pos)
+            if match is None:
+                raise LaiSyntaxError(
+                    f"unexpected character {line[pos]!r}", line_no)
+            pos = match.end()
+            kind = match.lastgroup
+            if kind in ("ws", "comment"):
+                continue
+            text = match.group()
+            if kind == "reg":
+                yield Token("REG", text[1:], line_no)
+            elif kind == "num":
+                yield Token("NUM", text, line_no)
+            elif kind == "ident":
+                yield Token("IDENT", text, line_no)
+            elif kind == "arrow":
+                yield Token("PUNCT", "<-", line_no)
+            else:
+                yield Token("PUNCT", text, line_no)
+            emitted = True
+        if emitted:
+            yield Token("NEWLINE", "", line_no)
+    yield Token("EOF", "", -1)

@@ -1,0 +1,7 @@
+"""Target machine descriptions and renaming-constraint collection."""
+
+from .gp32 import GP32, make_gp32
+from .st120 import ST120, make_st120
+from .target import Abi, Target
+
+__all__ = ["GP32", "make_gp32", "ST120", "make_st120", "Abi", "Target"]

@@ -1,0 +1,191 @@
+"""Renaming-constraint collection (Leung & George's *collect* phase).
+
+The paper splits the collect phase in three independent passes
+(section 5):
+
+* ``pinningSP`` -- re-pin every SSA variable renamed from the dedicated
+  stack pointer back to ``SP``.  This pass is *always* run: "it was not
+  possible to ignore those renaming constraints during the out-of-SSA
+  phase and to treat them afterwards."
+* ``pinningABI`` -- all remaining renaming constraints: function
+  parameters arrive in ABI registers (``.input C^R0, P^P0``), call
+  arguments/results and returned values use ABI registers, and
+  2-operand instructions tie a use to their definition
+  (``autoadd Q^Q, P^Q, 1``).
+* ``pinningφ`` -- the coalescer, in
+  :mod:`repro.outofssa.pinning_coalescer`.
+
+Each pass only attaches pins; the out-of-pinned-SSA translation
+materializes them.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function, Module
+from ..ir.types import PhysReg, RegClass, Var
+from ..ssa.pinning import resource_of
+from .st120 import ST120
+from .target import Target
+
+
+def pinning_sp(function: Function, target: Target = ST120) -> int:
+    """Pin every variable renamed from the stack pointer back to SP.
+
+    Returns the number of definitions pinned.  Variables carry their
+    origin register from SSA construction (:class:`repro.ir.types.Var`).
+    """
+    sp = target.stack_pointer
+    pinned = 0
+    for instr in function.instructions():
+        for op in instr.defs:
+            if isinstance(op.value, Var) and op.value.origin == sp:
+                if op.pin != sp:
+                    op.pin = sp
+                    pinned += 1
+        for op in instr.uses:
+            if isinstance(op.value, Var) and op.value.origin == sp \
+                    and not instr.is_phi:
+                if op.pin is None:
+                    op.pin = sp
+    return pinned
+
+
+def pinning_abi(function: Function, target: Target = ST120) -> int:
+    """Attach all non-SP renaming constraints as pins.
+
+    * ``input`` definitions are pinned to parameter registers,
+    * ``ret`` uses to return registers,
+    * ``call`` arguments / results to parameter / return registers,
+    * tied 2-operand uses to the resource of their definition,
+    * definitions renamed from an explicitly-written physical register
+      (``$R4`` in the source) back to that register.
+
+    Returns the number of operands pinned.
+    """
+    pinned = 0
+    sp = target.stack_pointer
+    tied_rules = _TiedPinner(function)
+    for block in function.iter_blocks():
+        for instr in block.body:
+            if instr.opcode == "input":
+                regs = target.abi.assign(
+                    [op.value.regclass for op in instr.defs
+                     if isinstance(op.value, Var)])
+                for op, reg in zip(instr.defs, regs):
+                    # Respect explicit pins written in the source
+                    # (the paper's ``.input C^R0`` is explicit input).
+                    if op.pin is None:
+                        op.pin = reg
+                        pinned += 1
+            elif instr.opcode == "ret":
+                classes = [op.value.regclass
+                           if isinstance(op.value, (Var, PhysReg))
+                           else RegClass.GPR
+                           for op in instr.uses]
+                regs = target.abi.assign_returns(classes)
+                for op, reg in zip(instr.uses, regs):
+                    if op.pin is None and isinstance(op.value,
+                                                     (Var, PhysReg)):
+                        op.pin = reg
+                        pinned += 1
+            elif instr.opcode == "call":
+                arg_classes = [op.value.regclass
+                               if isinstance(op.value, (Var, PhysReg))
+                               else RegClass.GPR
+                               for op in instr.uses]
+                for op, reg in zip(instr.uses,
+                                   target.abi.assign(arg_classes)):
+                    if op.pin is None and isinstance(op.value,
+                                                     (Var, PhysReg)):
+                        op.pin = reg
+                        pinned += 1
+                ret_classes = [op.value.regclass for op in instr.defs
+                               if isinstance(op.value, Var)]
+                for op, reg in zip(instr.defs,
+                                   target.abi.assign_returns(ret_classes)):
+                    if op.pin is None:
+                        op.pin = reg
+                        pinned += 1
+            for def_idx, use_idx in target.tied_pairs(instr):
+                pinned += tied_rules.pin(instr.defs[def_idx],
+                                         instr.uses[use_idx])
+            for op in instr.defs:
+                if isinstance(op.value, Var) and op.value.origin \
+                        is not None and op.value.origin != sp:
+                    if op.pin is None:
+                        op.pin = op.value.origin
+                        pinned += 1
+    return pinned
+
+
+class _TiedPinner:
+    """Pins the 2-operand (destructive) constraints.
+
+    Like the paper's Figure 1 (``autoadd Q^Q, P^Q, 1``), the destination
+    and the tied source must share one resource.  Two realizations:
+
+    * **tie-coalesce** -- when both definitions are unpinned and pinning
+      them together creates no kill and no strong interference, pin the
+      *definition* of the destination to the source variable's resource:
+      the constraint costs nothing and, crucially, the shared resource
+      makes the phi coalescer ABI-aware (the paper's point [CS3],
+      Figure 11: ``{b1, b2, B}`` end up together so the move lands on
+      the interfering edge);
+    * **use-pin fallback** -- otherwise pin the *use* to the
+      destination's resource; the reconstruction inserts a move before
+      the instruction when the value is not already there (Figure 1
+      pins ``P``'s use to ``Q`` because ``P`` itself is pinned to
+      ``P0``).
+
+    Analyses are built lazily: functions without 2-operand instructions
+    pay nothing.
+    """
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self._rules = None
+        self._def_pins: "dict[Var, object] | None" = None
+
+    def _ensure(self) -> None:
+        if self._rules is None:
+            from ..analysis.interference import KillRules, SSAInterference
+
+            self._rules = KillRules(SSAInterference(self.function))
+
+    def _def_operand(self, var: Var):
+        if self._def_pins is None:
+            self._def_pins = {}
+            for instr in self.function.instructions():
+                for op in instr.defs:
+                    if isinstance(op.value, Var):
+                        self._def_pins[op.value] = op
+        return self._def_pins.get(var)
+
+    def pin(self, def_op, use_op) -> int:
+        if not isinstance(use_op.value, Var):
+            return 0  # immediate sources carry no constraint
+        if use_op.pin is not None:
+            return 0
+        dest = def_op.value
+        src = use_op.value
+        src_def = self._def_operand(src)
+        if (isinstance(dest, Var) and def_op.pin is None
+                and src_def is not None and src_def.pin is None):
+            self._ensure()
+            rules = self._rules
+            if not (rules.variable_kills(dest, src)
+                    or rules.variable_kills(src, dest)
+                    or rules.strongly_interfere(dest, src)):
+                def_op.pin = src
+                return 1
+        use_op.pin = resource_of(def_op)
+        return 1
+
+
+def pin_module(module: Module, target: Target = ST120,
+               abi: bool = True) -> None:
+    """Run pinningSP (always) and optionally pinningABI on a module."""
+    for function in module.iter_functions():
+        pinning_sp(function, target)
+        if abi:
+            pinning_abi(function, target)

@@ -1,0 +1,48 @@
+"""A second target: a generic 32-register RISC without 2-operand forms.
+
+Exists to keep the system honestly target-parametric (nothing in the
+algorithms may assume the ST120): a flat file of 32 GPRs, no pointer
+class distinction for the ABI, six argument registers, two return
+registers.  Since its instruction set view contains no tied opcodes,
+``pinningABI`` on this target produces only parameter/call/return pins
+-- the 2-operand machinery must quietly do nothing.
+
+Note: this is a *constraint* view; programs may still use the
+``autoadd``/``mac`` mnemonics (they execute fine), but a GP32 compiler
+would not emit them, and the target reports no tied pairs for them.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Instruction
+from ..ir.types import PhysReg, RegClass
+from .target import Abi, Target
+
+
+class _NoTiedTarget(Target):
+    """Target whose ISA has no destructive 2-operand constraints."""
+
+    def tied_pairs(self, instr: Instruction) -> list[tuple[int, int]]:
+        return []
+
+
+def make_gp32() -> Target:
+    registers: dict[str, PhysReg] = {}
+    for i in range(32):
+        registers[f"R{i}"] = PhysReg(f"R{i}", RegClass.GPR)
+    registers["SP"] = PhysReg("SP", RegClass.SP)
+    # Pointer-classed values still need somewhere to live: alias the
+    # high registers as the pointer pool.
+    ptr_regs = [PhysReg(f"P{i}", RegClass.PTR) for i in range(4)]
+    for reg in ptr_regs:
+        registers[reg.name] = reg
+    abi = Abi(
+        arg_regs=[registers[f"R{i}"] for i in range(6)],
+        ret_regs=[registers["R0"], registers["R1"]],
+        ptr_arg_regs=ptr_regs[:2],
+        ptr_ret_regs=ptr_regs[:1],
+    )
+    return _NoTiedTarget("gp32", registers, abi, registers["SP"])
+
+
+GP32 = make_gp32()

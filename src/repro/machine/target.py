@@ -1,0 +1,95 @@
+"""Abstract target-machine description.
+
+The out-of-SSA algorithms never hard-code register names; they query a
+:class:`Target` for:
+
+* the dedicated registers and their classes,
+* the ABI rules -- where parameters arrive, where results leave
+  (paper Figure 1: ``.input C^R0, P^P0``, call results in ``R0``),
+* which opcodes carry 2-operand *tied* constraints (``autoadd``,
+  ``more``, ``mac`` on the ST120).
+
+Concrete targets (:mod:`repro.machine.st120`) instantiate this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ir.instructions import OPCODES, Instruction
+from ..ir.types import PhysReg, RegClass, Var
+
+
+@dataclass
+class Abi:
+    """Parameter-passing and return conventions.
+
+    Parameters are assigned registers in declaration order, consuming the
+    next free register of the class-appropriate sequence, like a
+    simplified ST120 ABI: data values go to ``arg_regs`` (R0, R1, ...),
+    pointers to ``ptr_arg_regs`` (P0, P1, ...).  Results use
+    ``ret_regs`` / ``ptr_ret_regs`` the same way.  Parameters beyond the
+    register count would go to the stack; the benchmark generators keep
+    arities within the register counts, and :meth:`assign` raises
+    otherwise so the limitation is loud.
+    """
+
+    arg_regs: Sequence[PhysReg]
+    ret_regs: Sequence[PhysReg]
+    ptr_arg_regs: Sequence[PhysReg] = ()
+    ptr_ret_regs: Sequence[PhysReg] = ()
+
+    def assign(self, regclasses: Sequence[RegClass]) -> list[PhysReg]:
+        """Map a sequence of value classes to ABI registers, in order."""
+        gpr_iter = iter(self.arg_regs)
+        ptr_iter = iter(self.ptr_arg_regs)
+        out: list[PhysReg] = []
+        for regclass in regclasses:
+            pool = ptr_iter if regclass == RegClass.PTR else gpr_iter
+            try:
+                out.append(next(pool))
+            except StopIteration:
+                raise ValueError(
+                    "ABI register pool exhausted (stack-passed parameters "
+                    "are not modeled)") from None
+        return out
+
+    def assign_returns(self, regclasses: Sequence[RegClass]) -> list[PhysReg]:
+        gpr_iter = iter(self.ret_regs)
+        ptr_iter = iter(self.ptr_ret_regs)
+        out: list[PhysReg] = []
+        for regclass in regclasses:
+            pool = ptr_iter if regclass == RegClass.PTR else gpr_iter
+            try:
+                out.append(next(pool))
+            except StopIteration:
+                raise ValueError("ABI return register pool exhausted") \
+                    from None
+        return out
+
+
+@dataclass
+class Target:
+    """A register file plus ABI plus tied-operand information."""
+
+    name: str
+    registers: dict[str, PhysReg]
+    abi: Abi
+    stack_pointer: PhysReg
+
+    def reg(self, name: str) -> PhysReg:
+        return self.registers[name]
+
+    def tied_pairs(self, instr: Instruction) -> list[tuple[int, int]]:
+        """``(def_index, use_index)`` pairs that must share a resource."""
+        return list(OPCODES[instr.opcode].tied)
+
+    def has_tied_operands(self, instr: Instruction) -> bool:
+        return bool(OPCODES[instr.opcode].tied)
+
+    def param_regs_for(self, params: Sequence[Var]) -> list[PhysReg]:
+        return self.abi.assign([p.regclass for p in params])
+
+    def return_regs_for(self, values: Sequence[RegClass]) -> list[PhysReg]:
+        return self.abi.assign_returns(list(values))

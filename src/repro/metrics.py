@@ -1,0 +1,84 @@
+"""Move-instruction metrics: the quantities the paper's tables report.
+
+* :func:`count_moves` -- plain count of register-to-register ``copy``
+  instructions (Tables 2, 3, 4);
+* :func:`weighted_moves` -- each move weighted by ``5**d``, *d* the loop
+  nesting depth of its block: "5^d is an arbitrary weight that
+  corresponds to a static approximation where each loop would contain 5
+  iterations" (Table 5);
+* :func:`count_instructions` -- total instruction count, used by the
+  compile-time-oriented reports.
+"""
+
+from __future__ import annotations
+
+from .analysis.loops import LoopForest
+from .ir.function import Function, Module
+
+
+def count_moves(item: Function | Module) -> int:
+    """Number of register-to-register copies (immediates excluded)."""
+    if isinstance(item, Module):
+        return sum(count_moves(f) for f in item.iter_functions())
+    return sum(1 for instr in item.instructions() if instr.is_copy)
+
+
+def weighted_moves(item: Function | Module, base: int = 5) -> int:
+    """Sum of ``base**depth`` over all move instructions."""
+    if isinstance(item, Module):
+        return sum(weighted_moves(f, base) for f in item.iter_functions())
+    loops = LoopForest(item)
+    total = 0
+    for block in item.iter_blocks():
+        weight = base ** loops.depth(block.label)
+        for instr in block.body:
+            if instr.is_copy:
+                total += weight
+    return total
+
+
+def count_instructions(item: Function | Module) -> int:
+    if isinstance(item, Module):
+        return sum(count_instructions(f) for f in item.iter_functions())
+    return sum(len(block) for block in item.iter_blocks())
+
+
+def count_phis(item: Function | Module) -> int:
+    if isinstance(item, Module):
+        return sum(count_phis(f) for f in item.iter_functions())
+    return sum(len(block.phis) for block in item.iter_blocks())
+
+
+#: A simple latency model in the spirit of a single-issue DSP: moves and
+#: simple ALU ops take one cycle, multiplies and memory two to three,
+#: calls an arbitrary fixed overhead.  Used by :func:`static_cycles` to
+#: give the tables a second, move-independent cost axis.
+CYCLE_COSTS = {
+    "copy": 1, "make": 1, "add": 1, "sub": 1, "and": 1, "or": 1,
+    "xor": 1, "shl": 1, "shr": 1, "min": 1, "max": 1, "neg": 1,
+    "not": 1, "cmpeq": 1, "cmpne": 1, "cmplt": 1, "cmple": 1,
+    "cmpgt": 1, "cmpge": 1, "select": 1, "autoadd": 1, "more": 1,
+    "mul": 2, "mac": 2, "div": 8, "rem": 8,
+    "load": 3, "store": 1, "readsp": 1,
+    "br": 1, "cbr": 1, "ret": 1, "input": 0, "call": 5,
+    "phi": 0, "pcopy": 0, "psi": 1,
+}
+
+
+def static_cycles(item: Function | Module, base: int = 5) -> int:
+    """Sum of per-opcode cycle costs, weighted by ``base**depth``.
+
+    The move-count tables answer "how many copies remain"; this metric
+    answers "how much do they matter against everything else" -- a move
+    removed from a depth-2 loop saves 25 weighted cycles, one removed
+    from straight-line code saves 1.
+    """
+    if isinstance(item, Module):
+        return sum(static_cycles(f, base) for f in item.iter_functions())
+    loops = LoopForest(item)
+    total = 0
+    for block in item.iter_blocks():
+        weight = base ** loops.depth(block.label)
+        for instr in block.instructions():
+            total += CYCLE_COSTS.get(instr.opcode, 1) * weight
+    return total

@@ -1,0 +1,241 @@
+"""Affinity-graph pruning as pure functions.
+
+The paper's per-block optimization problem (section 3.4): given an
+affinity (multi-)graph over resources and a pairwise interference
+predicate, delete edges so that
+
+* Condition 1 -- the total multiplicity of deleted edges is minimal,
+* Condition 2 -- no two resources in one connected component interfere.
+
+This module contains the paper's greedy pipeline
+(:func:`initial_prune` + :func:`weighted_prune` + the
+:func:`safety_split` backstop) *and* an exact branch-and-bound solver
+(:func:`optimal_prune`) usable on small graphs.  The coalescer
+(:mod:`repro.outofssa.pinning_coalescer`) uses the greedy path; the
+``bench_optimality`` benchmark compares both, quantifying the cost of
+the heuristic on the problem the paper proves NP-complete.
+
+Graphs are represented as ``{(u, v): multiplicity}`` with canonically
+ordered keys; the interference predicate must be symmetric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+Vertex = Hashable
+Edge = tuple
+Edges = "dict[Edge, int]"
+Interfere = Callable[[Vertex, Vertex], bool]
+
+
+def edge_key(a: Vertex, b: Vertex) -> Edge:
+    sa, sb = sorted((a, b), key=lambda r: (r.__class__.__name__, str(r)))
+    return (sa, sb)
+
+
+def components(edges: Edges) -> list[set]:
+    adjacency: dict[Vertex, set] = {}
+    for (a, b) in edges:
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    seen: set = set()
+    result: list[set] = []
+    for start in sorted(adjacency,
+                        key=lambda v: (v.__class__.__name__, str(v))):
+        if start in seen:
+            continue
+        group = {start}
+        frontier = [start]
+        seen.add(start)
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    group.add(neighbor)
+                    frontier.append(neighbor)
+        result.append(group)
+    return result
+
+
+def component_legal(group: Iterable[Vertex], interfere: Interfere) -> bool:
+    members = list(group)
+    for i, a in enumerate(members):
+        for b in members[i + 1:]:
+            if interfere(a, b):
+                return False
+    return True
+
+
+def kept_multiplicity(edges: Edges) -> int:
+    return sum(edges.values())
+
+
+# ----------------------------------------------------------------------
+# The paper's greedy pipeline
+# ----------------------------------------------------------------------
+
+def initial_prune(edges: Edges, interfere: Interfere) -> int:
+    """``Graph_InitialPruning``: drop edges between interfering
+    endpoints; returns the multiplicity removed."""
+    removed = 0
+    for key in list(edges):
+        if interfere(*key):
+            removed += edges.pop(key)
+    return removed
+
+
+def weighted_prune(edges: Edges, interfere: Interfere,
+                   literal: bool = False, ordered: bool = True) -> int:
+    """``BipartiteGraph_pruning``: greedy removal by decreasing weight.
+
+    The weight of an edge accumulates, for each edge sharing a vertex
+    with it, the neighbor's multiplicity when the two far endpoints
+    interfere.  ``literal=True`` follows the paper's pseudo-code
+    decrement (unconditional); the default only subtracts contributions
+    that involved the removed edge.  ``ordered=False`` removes positive
+    edges in arbitrary order (ablation).
+    """
+    weight: dict[Edge, int] = {key: 0 for key in edges}
+    keys = list(edges)
+    for i, e1 in enumerate(keys):
+        for e2 in keys[i + 1:]:
+            shared = set(e1) & set(e2)
+            if not shared:
+                continue
+            x = next(iter(shared))
+            far1 = e1[0] if e1[1] == x else e1[1]
+            far2 = e2[0] if e2[1] == x else e2[1]
+            if interfere(far1, far2):
+                weight[e1] += edges[e2]
+                weight[e2] += edges[e1]
+    removed = 0
+    while weight:
+        if ordered:
+            target = max(weight, key=lambda k: (weight[k], edges[k]))
+        else:
+            target = next((k for k in weight if weight[k] > 0),
+                          next(iter(weight)))
+        if weight[target] <= 0:
+            break
+        mult = edges[target]
+        removed += mult
+        del edges[target]
+        del weight[target]
+        for other in list(weight):
+            shared = set(other) & set(target)
+            if not shared:
+                continue
+            if literal:
+                weight[other] -= mult
+            else:
+                x = next(iter(shared))
+                far_other = other[0] if other[1] == x else other[1]
+                far_target = target[0] if target[1] == x else target[1]
+                if interfere(far_other, far_target):
+                    weight[other] -= mult
+    return removed
+
+
+def safety_split(edges: Edges, interfere: Interfere) -> int:
+    """Backstop establishing Condition 2 exactly.
+
+    The zero-weight stop of the greedy loop certifies no interference
+    at distance two; interfering pairs can survive at larger distances
+    in rare shapes.  Grow each component and cut edges towards any
+    vertex that interferes with the grown part.
+    """
+    removed = 0
+    while True:
+        adjacency: dict[Vertex, set] = {}
+        for (a, b) in edges:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+        to_remove: list[Edge] = []
+        seen: set = set()
+        for start in sorted(adjacency,
+                            key=lambda v: (v.__class__.__name__, str(v))):
+            if start in seen:
+                continue
+            grown = [start]
+            seen.add(start)
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in sorted(
+                        adjacency[node],
+                        key=lambda v: (v.__class__.__name__, str(v))):
+                    if neighbor in seen:
+                        continue
+                    if any(interfere(neighbor, g) for g in grown):
+                        to_remove.append(edge_key(node, neighbor))
+                    else:
+                        seen.add(neighbor)
+                        grown.append(neighbor)
+                        frontier.append(neighbor)
+        if not to_remove:
+            return removed
+        for key in to_remove:
+            if key in edges:
+                removed += edges.pop(key)
+
+
+def greedy_prune(edges: Edges, interfere: Interfere,
+                 literal: bool = False, ordered: bool = True) -> int:
+    """The full greedy pipeline; returns total multiplicity removed."""
+    removed = initial_prune(edges, interfere)
+    removed += weighted_prune(edges, interfere, literal, ordered)
+    removed += safety_split(edges, interfere)
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Exact solver (the NP-complete problem, solved small)
+# ----------------------------------------------------------------------
+
+def optimal_prune(edges: Edges, interfere: Interfere,
+                  max_edges: int = 16) -> "dict[Edge, int] | None":
+    """Maximum-multiplicity legal subgraph by branch and bound.
+
+    Returns the kept edge set, or ``None`` when the instance exceeds
+    *max_edges* distinct edges (exponential worst case -- the paper
+    proves the problem NP-complete, so a cutoff is the honest API).
+    """
+    items = sorted(edges.items(), key=lambda kv: -kv[1])
+    if len(items) > max_edges:
+        return None
+
+    best_kept: dict[Edge, int] = {}
+    best_weight = -1
+    suffix_weight = [0] * (len(items) + 1)
+    for i in range(len(items) - 1, -1, -1):
+        suffix_weight[i] = suffix_weight[i + 1] + items[i][1]
+
+    def legal_with(kept: dict, candidate: Edge) -> bool:
+        trial = dict(kept)
+        trial[candidate] = edges[candidate]
+        for group in components(trial):
+            if candidate[0] in group or candidate[1] in group:
+                if not component_legal(group, interfere):
+                    return False
+        return True
+
+    def search(index: int, kept: dict, weight: int) -> None:
+        nonlocal best_kept, best_weight
+        if weight + suffix_weight[index] <= best_weight:
+            return
+        if index == len(items):
+            if weight > best_weight:
+                best_weight = weight
+                best_kept = dict(kept)
+            return
+        key, mult = items[index]
+        if legal_with(kept, key):
+            kept[key] = mult
+            search(index + 1, kept, weight + mult)
+            del kept[key]
+        search(index + 1, kept, weight)
+
+    search(0, {}, 0)
+    return best_kept

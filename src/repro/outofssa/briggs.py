@@ -1,0 +1,35 @@
+"""Briggs et al.-style out-of-SSA translation.
+
+Cytron et al. "first replace a phi instruction by copies into the
+predecessor blocks, then rely on Chaitin's coalescing algorithm to
+reduce the number of copies"; Briggs et al. fixed the *swap* and *lost
+copy* problems of that scheme (paper section 1).  With critical edges
+split and the per-edge copies emitted as parallel copies, those fixes
+are structural -- which is exactly what the shared reconstruction engine
+does when **no definition is pinned**.
+
+This pass therefore runs :func:`repro.outofssa.leung_george.
+out_of_pinned_ssa` on a pin-free clone of the phi structure: every phi
+turns into one copy per predecessor edge, every phi-related coalescing
+opportunity is left on the table for the later Chaitin pass
+(:mod:`repro.outofssa.chaitin`) -- the paper's ``C`` experiments.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from .leung_george import OutOfSSAStats, out_of_pinned_ssa
+
+
+def briggs_out_of_ssa(function: Function,
+                      keep_abi_pins: bool = True) -> OutOfSSAStats:
+    """Naive phi replacement with swap/lost-copy-safe parallel copies.
+
+    ``keep_abi_pins=False`` additionally strips every pin beforehand,
+    yielding the textbook Briggs translation on virtual registers only.
+    """
+    if not keep_abi_pins:
+        for instr in function.instructions():
+            for op in instr.operands():
+                op.pin = None
+    return out_of_pinned_ssa(function)

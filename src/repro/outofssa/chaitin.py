@@ -1,0 +1,111 @@
+"""Aggressive Chaitin-style move coalescing ("repeated coalescing").
+
+The paper's ``Coalescing`` pass: "outside of the register allocation
+context ... it is an aggressive coalescing that does not take care of
+the colorability of the interference graph" (section 5).  It repeatedly
+
+1. builds the interference graph of the phi-free function (with the
+   classic refinement that a copy's destination does not interfere with
+   its source),
+2. coalesces every ``copy d, s`` whose endpoints do not interfere
+   (merging their interference-graph nodes by edge union),
+3. rewrites the function and deletes the now-trivial copies,
+
+until a fixpoint -- the "repeated register coalescing" of the LAO [5],
+which the experiments use as the cleanup phase ``C`` after every
+translation scheme.
+
+Rules:
+
+* two distinct physical registers never coalesce;
+* a variable may coalesce with a physical register when it does not
+  interfere with it (the result is named by the register);
+* self-copies are deleted.
+"""
+
+from __future__ import annotations
+
+from ..analysis.interference import InterferenceGraph
+from ..analysis.liveness import Liveness
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Operand
+from ..ir.types import Imm, PhysReg, Value
+
+
+def aggressive_coalesce(function: Function,
+                        max_rounds: int = 100) -> int:
+    """Coalesce moves until fixpoint; returns copies eliminated."""
+    eliminated = 0
+    for _ in range(max_rounds):
+        removed = _coalesce_round(function)
+        eliminated += removed
+        if removed == 0:
+            break
+    return eliminated
+
+
+def _coalesce_round(function: Function) -> int:
+    graph = InterferenceGraph(function, Liveness(function))
+    # Union-find over values; physical registers always win as reps.
+    parent: dict[Value, Value] = {}
+
+    def find(value: Value) -> Value:
+        root = value
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(value, value) != root:
+            parent[value], value = root, parent[value]
+        return root
+
+    merged = 0
+    for block in function.iter_blocks():
+        for instr in block.body:
+            if not instr.is_copy:
+                continue
+            dest = find(instr.defs[0].value)
+            src = find(instr.uses[0].value)
+            if dest == src:
+                continue
+            if isinstance(dest, PhysReg) and isinstance(src, PhysReg):
+                continue
+            if graph.interfere(dest, src):
+                continue
+            keep, gone = dest, src
+            if isinstance(src, PhysReg):
+                keep, gone = src, dest
+            graph.merge(keep, gone)
+            parent[gone] = keep
+            merged += 1
+    if merged == 0 and not _has_self_copy(function):
+        return 0
+    return _rewrite(function, find)
+
+
+def _has_self_copy(function: Function) -> bool:
+    for instr in function.instructions():
+        if instr.is_copy and instr.defs[0].value == instr.uses[0].value:
+            return True
+    return False
+
+
+def _rewrite(function: Function, find) -> int:
+    removed = 0
+    for block in function.iter_blocks():
+        new_body: list[Instruction] = []
+        for instr in block.body:
+            for i, op in enumerate(instr.defs):
+                rep = find(op.value)
+                if rep != op.value:
+                    instr.defs[i] = Operand(rep, op.pin, is_def=True)
+            for i, op in enumerate(instr.uses):
+                if isinstance(op.value, Imm):
+                    continue
+                rep = find(op.value)
+                if rep != op.value:
+                    instr.uses[i] = Operand(rep, op.pin, is_def=False)
+            if instr.is_copy and instr.defs[0].value == instr.uses[0].value:
+                removed += 1
+                continue
+            new_body.append(instr)
+        block.body = new_body
+    return removed

@@ -1,0 +1,473 @@
+"""Out-of-pinned-SSA translation (Leung & George's mark/reconstruct).
+
+This is the engine every experiment shares ("out-of-pinned-SSA" in the
+paper's Table 1): given an SSA function whose operands may be *pinned* to
+resources, produce an equivalent phi-free function where
+
+* every pinned definition writes its resource directly,
+* every pinned use reads its resource, with a move inserted just before
+  the instruction when the value is not already there,
+* each phi is realized as one *parallel copy* per incoming edge, placed
+  at the end of the predecessor -- a copy is **omitted** when the
+  argument's resource equals the phi's resource (that omission is the
+  whole point of the paper's phi-pinning coalescer),
+* variables whose resource gets overwritten while they are still live
+  (*killed* variables, paper section 2.3) are *repaired*: a fresh
+  variable saves the value right after the definition and the uses
+  beyond the kill read the repair variable instead (exactly the
+  ``x'3 = R0`` of the paper's Figure 3).
+
+The implementation is a reformulation of Leung & George's three-phase
+algorithm (collect / mark / reconstruct) on top of explicit dataflow:
+
+1. *collect* is done by the callers (:mod:`repro.machine.constraints`
+   pins ABI/SP constraints, :mod:`repro.outofssa.pinning_coalescer` pins
+   coalesced definitions);
+2. *mark* becomes an explicit kill analysis over the write events of
+   each resource plus an availability dataflow per killed variable;
+3. *reconstruct* is a single rebuild of every block.
+
+Deviation from the original: critical edges are split up front (and
+degenerate single-predecessor phis lowered), so edge copies never
+execute on a wrong path.  Leung & George instead repair through those
+paths; splitting is the modern standard, is semantically equivalent, and
+makes the self-kill ("lost copy") case naturally disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.defuse import DefUse
+from ..analysis.dominance import DominatorTree
+from ..analysis.liveness import Liveness
+from ..ir.cfg import reverse_postorder, split_critical_edges
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Operand, make_copy
+from ..ir.types import Resource, Value, Var
+from ..ssa.pinning import PinningError, check_function_pinning, resource_of
+from .parallel_copy import sequentialize_function
+
+
+@dataclass
+class OutOfSSAStats:
+    """What the translation did -- consumed by the experiment tables."""
+
+    edge_copies: int = 0
+    usepin_copies: int = 0
+    repair_copies: int = 0
+    coalesced_edges: int = 0  # phi arguments that needed no copy
+    killed: list[Var] = field(default_factory=list)
+
+    @property
+    def total_copies(self) -> int:
+        return self.edge_copies + self.usepin_copies + self.repair_copies
+
+
+def out_of_pinned_ssa(function: Function,
+                      check_pinning: bool = True) -> OutOfSSAStats:
+    """Translate pinned SSA *function* out of SSA, in place."""
+    split_critical_edges(function)
+    _lower_degenerate_phis(function)
+    translator = _Translator(function, check_pinning)
+    return translator.run()
+
+
+def _lower_degenerate_phis(function: Function) -> None:
+    """Replace phis of single-predecessor blocks by an entry parallel
+    copy: their merge is trivial but parallel semantics must be kept."""
+    from ..ir.cfg import predecessors_map
+
+    preds = predecessors_map(function)
+    for block in function.iter_blocks():
+        if not block.phis or len(preds[block.label]) != 1:
+            continue
+        defs = []
+        uses = []
+        for phi in block.phis:
+            defs.append(phi.defs[0])
+            uses.append(phi.uses[0])
+        for use in uses:
+            use.is_def = False
+        block.body.insert(0, Instruction("pcopy", defs, uses))
+        block.phis = []
+
+
+class _Translator:
+    def __init__(self, function: Function, check_pinning: bool) -> None:
+        self.function = function
+        self.check = check_pinning
+        self.domtree = DominatorTree(function)
+        self.defuse = DefUse(function)
+        self.liveness = Liveness(function)
+        self.stats = OutOfSSAStats()
+        # var -> resource (def pin or the variable itself)
+        self.resource: dict[Var, Resource] = {}
+        # resource -> member variables
+        self.groups: dict[Resource, list[Var]] = {}
+        self.killed: set[Var] = set()
+        self.repair: dict[Var, Var] = {}
+        # (block, kind, payload) availability per killed var, see below.
+        self._avail_in: dict[Var, dict[str, bool]] = {}
+        self._avail_out: dict[Var, dict[str, bool]] = {}
+        self._edge_kill_cache: dict[str, set] = {}
+        # Event streams are snapshotted before reconstruction mutates the
+        # instructions; keyed by (var, block label).
+        self._events: dict[tuple[Var, str], list[tuple]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> OutOfSSAStats:
+        self._build_groups()
+        if self.check:
+            errors = check_function_pinning(self.function, self.defuse,
+                                            self.domtree, self.liveness)
+            if errors:
+                raise PinningError("; ".join(errors))
+        self._compute_kills()
+        for var in sorted(self.killed, key=lambda v: v.name):
+            self._compute_availability(var)
+        self._create_repairs()
+        self._rewrite()
+        sequentialize_function(self.function)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Groups
+    # ------------------------------------------------------------------
+    def _build_groups(self) -> None:
+        for block in self.function.iter_blocks():
+            for instr in block.instructions():
+                for op in instr.defs:
+                    if isinstance(op.value, Var):
+                        res = resource_of(op)
+                        self.resource[op.value] = res
+                        self.groups.setdefault(res, []).append(op.value)
+
+    def _resource(self, var: Var) -> Resource:
+        return self.resource.get(var, var)
+
+    # ------------------------------------------------------------------
+    # Kill analysis (the "mark" phase)
+    # ------------------------------------------------------------------
+    def _edge_kill_set(self, pred: str) -> set:
+        cached = self._edge_kill_cache.get(pred)
+        if cached is None:
+            cached = self.liveness.edge_kill_set(pred, "")
+            self._edge_kill_cache[pred] = cached
+        return cached
+
+    def _write_sites(self) -> dict[Resource, list[tuple]]:
+        """All events that write each resource.
+
+        Site kinds:
+          ("def", block, pos, writer)          -- a pinned definition
+          ("edge", pred, phi_var, arg_value)   -- a phi edge copy
+          ("usepin", block, pos, used_var)     -- move before a pinned use
+        """
+        sites: dict[Resource, list[tuple]] = {}
+        for block in self.function.iter_blocks():
+            for phi in block.phis:
+                y = phi.defs[0].value
+                res = self._resource(y)
+                for pred, arg in phi.phi_pairs():
+                    sites.setdefault(res, []).append(
+                        ("edge", pred, y, arg.value))
+            for pos, instr in enumerate(block.body):
+                for op in instr.defs:
+                    if isinstance(op.value, Var):
+                        res = self._resource(op.value)
+                        if len(self.groups.get(res, ())) > 1:
+                            sites.setdefault(res, []).append(
+                                ("def", block.label, pos, op.value))
+                for op in instr.uses:
+                    if op.pin is None or not isinstance(op.value, Var):
+                        continue
+                    if instr.is_phi:
+                        continue
+                    # A move into the pinned resource happens unless the
+                    # value provably sits there already (same resource
+                    # and not killed -- refined in the fixpoint loop).
+                    if (self._resource(op.value) != op.pin
+                            or op.value in self.killed):
+                        sites.setdefault(op.pin, []).append(
+                            ("usepin", block.label, pos, op.value))
+        return sites
+
+    def _compute_kills(self) -> None:
+        # Fixpoint: a kill can force a restoring use-pin move which can
+        # itself kill; two or three rounds settle in practice.
+        for _ in range(8):
+            sites = self._write_sites()
+            new_killed = set(self.killed)
+            for res, events in sites.items():
+                members = self.groups.get(res, [])
+                if not members:
+                    continue
+                for kind, *payload in events:
+                    if kind == "def":
+                        label, pos, writer = payload
+                        live = self.liveness.live_after(label, pos)
+                        for v in members:
+                            if v != writer and v in live:
+                                new_killed.add(v)
+                    elif kind == "edge":
+                        pred, phi_var, arg = payload
+                        kill_set = self._edge_kill_set(pred)
+                        # A conditional branch reads its condition after
+                        # the edge copies; those reads survive the copy.
+                        term = self.function.blocks[pred].terminator
+                        term_uses = set(term.use_vars()) if term else set()
+                        for v in members:
+                            if v != arg and (v in kill_set
+                                             or v in term_uses):
+                                new_killed.add(v)
+                    else:  # usepin
+                        label, pos, used = payload
+                        instr = self.function.blocks[label].body[pos]
+                        live = self.liveness.live_after(label, pos)
+                        at_instr = set(instr.use_vars())
+                        for v in members:
+                            if v != used and (v in live or v in at_instr):
+                                new_killed.add(v)
+            if new_killed == self.killed:
+                break
+            self.killed = new_killed
+        self.stats.killed = sorted(self.killed, key=lambda v: v.name)
+
+    # ------------------------------------------------------------------
+    # Availability dataflow per killed variable
+    # ------------------------------------------------------------------
+    def _block_events(self, label: str, var: Var) -> list[tuple]:
+        """Ordered in-block events relevant to *var*'s availability.
+
+        ("set",)            var's value (re)enters its resource
+        ("clobber",)        another value overwrites the resource
+        ("use", pos, op)    a read of var at body position pos
+        ("phiuse",)         var read by an outgoing edge copy (before
+                            the clobbers of that same edge pcopy)
+
+        Physical order at the end of a block: last non-terminator
+        instruction, then the edge parallel copy, then the use-pin moves
+        of the terminator, then the terminator itself -- a conditional
+        branch reads its condition *after* the edge copies, which is how
+        the emitted code is laid out.
+
+        The streams are memoized; reconstruction mutates the
+        instructions, so all queries rely on the snapshot taken here.
+        """
+        cached = self._events.get((var, label))
+        if cached is not None:
+            return cached
+        res = self._resource(var)
+        block = self.function.blocks[label]
+        events: list[tuple] = []
+        for phi in block.phis:
+            if phi.defs[0].value == var:
+                events.append(("set",))
+            elif self._resource(phi.defs[0].value) == res:
+                events.append(("clobber",))
+
+        def instr_events(pos: int, instr: Instruction) -> None:
+            # use-pin moves of *other* variables into this resource
+            # execute just before the instruction reads.
+            for op in instr.uses:
+                if (op.pin == res and isinstance(op.value, Var)
+                        and op.value != var):
+                    events.append(("clobber",))
+            for op in instr.uses:
+                if op.value == var:
+                    events.append(("use", pos, op))
+            # var's own pinned use re-establishes availability (either
+            # the value was already there, or the reconstruction emits a
+            # restoring move from the repair variable) -- but only
+            # *after* the availability question of this very use has
+            # been answered, otherwise the repair would never be deemed
+            # necessary in the first place.
+            for op in instr.uses:
+                if op.pin == res and op.value == var:
+                    events.append(("set",))
+            for op in instr.defs:
+                if op.value == var:
+                    events.append(("set",))
+                elif isinstance(op.value, Var) \
+                        and self._resource(op.value) == res:
+                    events.append(("clobber",))
+
+        terminator = block.terminator
+        for pos, instr in enumerate(block.body):
+            if instr is terminator:
+                break
+            instr_events(pos, instr)
+        # Edge copies: sources are read first (parallel copy semantics).
+        for succ in block.successors():
+            for phi in self.function.blocks[succ].phis:
+                arg = phi.phi_arg_for(label)
+                if arg.value == var:
+                    events.append(("phiuse",))
+        for succ in block.successors():
+            for phi in self.function.blocks[succ].phis:
+                y = phi.defs[0].value
+                arg = phi.phi_arg_for(label)
+                if self._resource(y) != res:
+                    continue
+                if y == var or arg.value == var:
+                    # arg == var with a shared resource: no copy is
+                    # emitted, the value stays put.  y == var: the copy
+                    # writes the value the SSA name *var* denotes.
+                    events.append(("set",))
+                else:
+                    events.append(("clobber",))
+        if terminator is not None:
+            instr_events(len(block.body) - 1, terminator)
+        self._events[(var, label)] = events
+        return events
+
+    def _compute_availability(self, var: Var) -> None:
+        order = reverse_postorder(self.function)
+        avail_in = {label: True for label in order}
+        avail_out = {label: True for label in order}
+        entry = self.function.entry
+        preds: dict[str, list[str]] = {label: [] for label in order}
+        for label in order:
+            for succ in self.function.blocks[label].successors():
+                preds[succ].append(label)
+        changed = True
+        while changed:
+            changed = False
+            for label in order:
+                if label == entry:
+                    new_in = False
+                else:
+                    new_in = all(avail_out[p] for p in preds[label])
+                out = new_in
+                for event in self._block_events(label, var):
+                    if event[0] == "set":
+                        out = True
+                    elif event[0] == "clobber":
+                        out = False
+                if new_in != avail_in[label] or out != avail_out[label]:
+                    avail_in[label] = new_in
+                    avail_out[label] = out
+                    changed = True
+        self._avail_in[var] = avail_in
+        self._avail_out[var] = avail_out
+
+    def _use_available(self, var: Var, label: str,
+                       at_pos: Optional[int]) -> bool:
+        """Availability of *var* in its resource at a specific use.
+
+        ``at_pos`` is a body position, or ``None`` for a phi-argument
+        use at the end of the block (read before the edge clobbers).
+        """
+        if var not in self.killed:
+            return True
+        avail = self._avail_in[var][label]
+        for event in self._block_events(label, var):
+            kind = event[0]
+            if kind == "use" and at_pos is not None and event[1] == at_pos:
+                return avail
+            if kind == "phiuse" and at_pos is None:
+                return avail
+            if kind == "set":
+                avail = True
+            elif kind == "clobber":
+                avail = False
+        # A use must have been encountered; defensive default:
+        return avail
+
+    # ------------------------------------------------------------------
+    # Repairs
+    # ------------------------------------------------------------------
+    def _create_repairs(self) -> None:
+        for var in self.stats.killed:
+            needed = False
+            for use in self.defuse.use_sites(var):
+                if use.instr.is_phi:
+                    # The availability point is the end of the incoming
+                    # block of that argument.
+                    for pred, op in use.instr.phi_pairs():
+                        if op is use.operand and \
+                                not self._use_available(var, pred, None):
+                            needed = True
+                elif not self._use_available(var, use.block, use.position):
+                    needed = True
+            if needed:
+                self.repair[var] = self.function.new_var(
+                    f"{var.name}_rep", var.regclass)
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def _location(self, value: Value, label: str,
+                  at_pos: Optional[int]) -> Value:
+        """Where *value* lives at the given point in the output code."""
+        if not isinstance(value, Var):
+            return value
+        if value in self.repair and \
+                not self._use_available(value, label, at_pos):
+            return self.repair[value]
+        return self._resource(value)
+
+    def _rewrite(self) -> None:
+        for block in self.function.iter_blocks():
+            label = block.label
+            new_body: list[Instruction] = []
+            # Repairs for killed phi definitions of this block.
+            for phi in block.phis:
+                y = phi.defs[0].value
+                if y in self.repair:
+                    new_body.append(
+                        make_copy(self.repair[y], self._resource(y)))
+                    self.stats.repair_copies += 1
+            for pos, instr in enumerate(block.body):
+                if instr.is_terminator:
+                    # Physical layout: edge copies, then the
+                    # terminator's own use-pin moves, then the branch.
+                    pcopy = self._edge_pcopy(block)
+                    if pcopy is not None:
+                        new_body.append(pcopy)
+                moves: list[tuple[Value, Value]] = []
+                for i, op in enumerate(instr.uses):
+                    loc = self._location(op.value, label, pos)
+                    if op.pin is not None and loc != op.pin:
+                        if (op.pin, loc) not in moves:
+                            moves.append((op.pin, loc))
+                            self.stats.usepin_copies += 1
+                        loc = op.pin
+                    instr.uses[i] = Operand(loc, None, is_def=False)
+                if moves:
+                    defs = [Operand(d, is_def=True) for d, _ in moves]
+                    srcs = [Operand(s, is_def=False) for _, s in moves]
+                    new_body.append(Instruction("pcopy", defs, srcs))
+                new_body.append(instr)
+                for i, op in enumerate(instr.defs):
+                    if isinstance(op.value, Var):
+                        res = self._resource(op.value)
+                        if op.value in self.repair:
+                            new_body.append(
+                                make_copy(self.repair[op.value], res))
+                            self.stats.repair_copies += 1
+                        instr.defs[i] = Operand(res, None, is_def=True)
+            block.body = new_body
+        for block in self.function.iter_blocks():
+            block.phis = []
+
+    def _edge_pcopy(self, block) -> Optional[Instruction]:
+        pairs: list[tuple[Value, Value]] = []
+        for succ in block.successors():
+            for phi in self.function.blocks[succ].phis:
+                y = phi.defs[0].value
+                dest = self._resource(y)
+                arg = phi.phi_arg_for(block.label)
+                src = self._location(arg.value, block.label, None)
+                if src == dest:
+                    self.stats.coalesced_edges += 1
+                    continue
+                pairs.append((dest, src))
+                self.stats.edge_copies += 1
+        if not pairs:
+            return None
+        defs = [Operand(d, is_def=True) for d, _ in pairs]
+        srcs = [Operand(s, is_def=False) for _, s in pairs]
+        return Instruction("pcopy", defs, srcs)

@@ -1,0 +1,140 @@
+"""Naive late ABI lowering (the paper's ``NaiveABI`` pass).
+
+When renaming constraints are *not* handled during the out-of-SSA
+translation (no ``pinningABI``), they must be materialized afterwards by
+inserting "move instructions locally around renaming constrained
+instructions" (section 5): at procedure entry and exit, around calls,
+and before 2-operand instructions -- the scheme the paper's point [CC3]
+argues against, because most of those moves then have to be coalesced
+away again by an expensive late pass.
+
+Runs on phi-free (post-out-of-SSA) code.  Returns the number of moves
+inserted, the paper's "ABI moves" (Table 4).
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Operand, make_copy
+from ..ir.types import Imm, PhysReg, RegClass, Var
+from ..machine.st120 import ST120
+from ..machine.target import Target
+
+
+def naive_abi(function: Function, target: Target = ST120) -> int:
+    """Insert ABI moves around constrained instructions, in place."""
+    inserted = 0
+    for block in function.iter_blocks():
+        new_body: list[Instruction] = []
+        for instr in block.body:
+            if instr.opcode == "input":
+                inserted += _lower_input(instr, new_body, target)
+            elif instr.opcode == "ret":
+                inserted += _lower_ret(instr, new_body, target)
+            elif instr.opcode == "call":
+                inserted += _lower_call(instr, new_body, target)
+            elif target.tied_pairs(instr):
+                inserted += _lower_tied(function, instr, new_body, target)
+            else:
+                new_body.append(instr)
+        block.body = new_body
+    return inserted
+
+
+def _value_class(op: Operand) -> RegClass:
+    if isinstance(op.value, (Var, PhysReg)):
+        return op.value.regclass
+    return RegClass.GPR
+
+
+def _lower_input(instr: Instruction, out: list[Instruction],
+                 target: Target) -> int:
+    """``input C, P``  becomes  ``input R0, P0; C = R0; P = P0``."""
+    inserted = 0
+    regs = target.abi.assign([_value_class(op) for op in instr.defs])
+    copies: list[Instruction] = []
+    new_defs: list[Operand] = []
+    for op, reg in zip(instr.defs, regs):
+        if op.value == reg:
+            new_defs.append(op)
+            continue
+        new_defs.append(Operand(reg, is_def=True))
+        copies.append(make_copy(op.value, reg))
+        inserted += 1
+    instr.defs = new_defs
+    out.append(instr)
+    out.extend(copies)
+    return inserted
+
+
+def _lower_ret(instr: Instruction, out: list[Instruction],
+               target: Target) -> int:
+    """``ret F``  becomes  ``R0 = F; ret R0``."""
+    inserted = 0
+    regs = target.abi.assign_returns([_value_class(op) for op in instr.uses])
+    new_uses: list[Operand] = []
+    for op, reg in zip(instr.uses, regs):
+        if isinstance(op.value, Imm) or op.value == reg:
+            new_uses.append(op)
+            continue
+        out.append(make_copy(reg, op.value))
+        inserted += 1
+        new_uses.append(Operand(reg, is_def=False))
+    instr.uses = new_uses
+    out.append(instr)
+    return inserted
+
+
+def _lower_call(instr: Instruction, out: list[Instruction],
+                target: Target) -> int:
+    """Wrap a call with argument and result moves."""
+    inserted = 0
+    arg_regs = target.abi.assign([_value_class(op) for op in instr.uses])
+    new_uses: list[Operand] = []
+    for op, reg in zip(instr.uses, arg_regs):
+        if isinstance(op.value, Imm) or op.value == reg:
+            new_uses.append(op)
+            continue
+        out.append(make_copy(reg, op.value))
+        inserted += 1
+        new_uses.append(Operand(reg, is_def=False))
+    instr.uses = new_uses
+    ret_regs = target.abi.assign_returns(
+        [_value_class(op) for op in instr.defs])
+    copies: list[Instruction] = []
+    new_defs: list[Operand] = []
+    for op, reg in zip(instr.defs, ret_regs):
+        if op.value == reg:
+            new_defs.append(op)
+            continue
+        new_defs.append(Operand(reg, is_def=True))
+        copies.append(make_copy(op.value, reg))
+        inserted += 1
+    instr.defs = new_defs
+    out.append(instr)
+    out.extend(copies)
+    return inserted
+
+
+def _lower_tied(function: Function, instr: Instruction,
+                out: list[Instruction], target: Target) -> int:
+    """``autoadd d, a, 1``  becomes  ``d = a; autoadd d, d, 1``."""
+    inserted = 0
+    for def_idx, use_idx in target.tied_pairs(instr):
+        dest = instr.defs[def_idx].value
+        src = instr.uses[use_idx].value
+        if src == dest or isinstance(src, Imm):
+            continue
+        # The copy into ``dest`` must not clobber another source of the
+        # same instruction (``autoadd d, a, d``): save it first.
+        for i, op in enumerate(instr.uses):
+            if i != use_idx and op.value == dest:
+                saved = function.new_var("tied", _value_class(op))
+                out.append(make_copy(saved, dest))
+                inserted += 1
+                instr.uses[i] = Operand(saved, is_def=False)
+        out.append(make_copy(dest, src))
+        inserted += 1
+        instr.uses[use_idx] = Operand(dest, is_def=False)
+    out.append(instr)
+    return inserted

@@ -1,0 +1,118 @@
+"""Parallel-copy sequentialization.
+
+Out-of-SSA translation conceptually places one *parallel copy* per CFG
+edge ("The copies R0 = x'1; R1 = R0 are performed in parallel in the
+algorithm, so as to avoid the so-called swap problem.  To sequentialize
+the code, intermediate variables may be used and the copies may be
+reordered", paper section 2.3).  This module turns a parallel copy into
+an equivalent sequence of plain ``copy`` instructions:
+
+* copies whose destination is not needed as a source can be emitted
+  immediately (a topological order of the location graph);
+* the remaining copies form disjoint cycles; each cycle is broken by
+  saving one source into a fresh temporary.
+
+The emitted sequence has length ``n + (#cycles)`` for ``n`` non-trivial
+pairs -- the minimum when temporaries are used for cycle breaking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..ir.function import Function
+from ..ir.instructions import Instruction, make_copy
+from ..ir.types import Imm, PhysReg, RegClass, Value, Var
+
+#: Factory producing a fresh temporary for a given cycle representative.
+TempFactory = Callable[[Value], Value]
+
+
+def sequentialize_pairs(pairs: list[tuple[Value, Value]],
+                        fresh_temp: TempFactory) -> list[tuple[Value, Value]]:
+    """Order parallel ``(dest, src)`` pairs into sequential copies.
+
+    Immediates as sources are always safe (no location tracking needed).
+    Raises ``ValueError`` when two pairs write the same destination --
+    a malformed parallel copy that would be silently nondeterministic.
+    """
+    todo = [(d, s) for d, s in pairs if d != s]
+    dests = [d for d, _ in todo]
+    if len(set(dests)) != len(dests):
+        raise ValueError(f"parallel copy writes a destination twice: {pairs}")
+
+    # Boissinot et al.'s sequentialization: ``loc(v)`` is where the
+    # original value of v currently lives, ``pred(b)`` the value wanted
+    # in b.  A destination is *ready* when the value sitting in it is
+    # not needed (anymore); when only cycles remain, one destination is
+    # saved into a temporary to break its cycle.
+    pred: dict[Value, Value] = dict(todo)
+    loc: dict[Value, Value] = {}
+    for _, src in todo:
+        if not isinstance(src, Imm):
+            loc[src] = src
+
+    result: list[tuple[Value, Value]] = []
+    done: set[Value] = set()
+    ready = [d for d in pred if d not in loc]  # not a source: free
+    to_do = list(pred)
+    while len(done) < len(pred):
+        while ready:
+            b = ready.pop()
+            if b in done:
+                continue
+            a = pred[b]
+            if isinstance(a, Imm):
+                result.append((b, a))
+                done.add(b)
+                continue
+            c = loc[a]
+            result.append((b, c))
+            done.add(b)
+            loc[a] = b
+            # The slot c just became free; if it is itself a pending
+            # destination, it can now be written.
+            if a == c and a in pred and a not in done:
+                ready.append(a)
+        if len(done) < len(pred):
+            # Only cycles remain.  Save one pending destination's
+            # current value in a temporary, freeing the destination.
+            b = next(d for d in to_do if d not in done)
+            a = pred[b]
+            if not isinstance(a, Imm) and b != loc[a]:
+                temp = fresh_temp(b)
+                result.append((temp, b))
+                loc[b] = temp
+            ready.append(b)
+    return result
+
+
+def expand_pcopy(instr: Instruction,
+                 fresh_temp: TempFactory) -> list[Instruction]:
+    """Expand one ``pcopy`` instruction into sequential ``copy``s."""
+    pairs = [(d.value, s.value) for d, s in instr.pcopy_pairs()]
+    ordered = sequentialize_pairs(pairs, fresh_temp)
+    return [make_copy(dest, src) for dest, src in ordered]
+
+
+def sequentialize_function(function: Function) -> int:
+    """Expand every ``pcopy`` in *function*; returns how many copies
+    were emitted in total."""
+    emitted = 0
+
+    def fresh_temp(model: Value) -> Value:
+        regclass = model.regclass if isinstance(model, (Var, PhysReg)) \
+            else RegClass.GPR
+        return function.new_var("swap", regclass)
+
+    for block in function.iter_blocks():
+        new_body: list[Instruction] = []
+        for instr in block.body:
+            if instr.is_pcopy:
+                copies = expand_pcopy(instr, fresh_temp)
+                emitted += len(copies)
+                new_body.extend(copies)
+            else:
+                new_body.append(instr)
+        block.body = new_body
+    return emitted

@@ -1,0 +1,397 @@
+"""The paper's pinning-based phi coalescer (``pinningφ``).
+
+Implements Algorithm 1 / Algorithm 2 of the paper: for every basic block
+with phi instructions, visited in an inner-to-outer loop traversal,
+
+1. ``Create_affinity_graph`` -- vertices are *resources* (groups of
+   variables already pinned together, or physical registers); one
+   affinity edge per phi argument, connecting the argument's resource to
+   the phi result's resource, with multiplicities;
+2. ``Graph_InitialPruning`` -- delete edges whose endpoints interfere;
+3. ``BipartiteGraph_pruning`` -- greedily delete remaining edges in
+   decreasing *weight* order (the weight of an edge counts, through
+   multiplicities, the neighbors of each endpoint that interfere with
+   the other endpoint) until no positive-weight edge remains;
+4. ``PrunedGraph_pinning`` -- merge each connected component into a
+   single resource and pin every member definition to it.
+
+The resulting *variable pinning* is consumed by
+:func:`repro.outofssa.leung_george.out_of_pinned_ssa`, which omits the
+edge copy for every phi argument sharing the phi's resource -- that
+omission is the *gain* the algorithm maximizes, without ever creating a
+new interference (Condition 2 in section 3.4).
+
+Variants (paper Table 5):
+
+* ``mode`` -- ``"base"`` exact interference, ``"optimistic"`` /
+  ``"pessimistic"`` fuzzy liveness-only interference (Algorithm 4);
+* ``depth_ordered=True`` -- Algorithm 3: affinity edges are built per
+  definition depth, processed from the innermost depth outwards, so
+  priority follows the depth of the *move* a phi argument would
+  generate rather than the depth of the phi;
+* ``literal_weight_update=True`` -- follow the paper's pseudo-code
+  verbatim in the pruning loop (unconditional weight decrements); the
+  default decrements only the weight contributions that actually
+  involved the removed edge, keeping weights consistent with a full
+  recomputation (ablation ``bench_ablations``);
+* ``traversal`` -- block visit order ablation (``"inner-to-outer"``
+  default, ``"outer-to-inner"``, ``"layout"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from ..analysis.interference import InterferenceMode, KillRules, SSAInterference
+from ..analysis.loops import LoopForest
+from ..ir.cfg import split_critical_edges
+from ..ir.function import Function
+from ..ir.types import PhysReg, Resource, Var
+from ..ssa.pinning import resource_of
+from . import affinity
+
+
+@dataclass
+class CoalescingStats:
+    """What the coalescer achieved, per function."""
+
+    affinity_edges: int = 0
+    pruned_initial: int = 0
+    pruned_weighted: int = 0
+    pruned_safety: int = 0
+    merged_components: int = 0
+    pinned_variables: int = 0
+    gain: int = 0  # phi argument slots sharing their phi's resource
+
+
+class ResourcePool:
+    """Union-find over resources with member and killed-set tracking.
+
+    Merging is "a simple edge union ... as opposed to the merge operation
+    used in the iterated register coalescing algorithm where
+    interferences have to be recomputed at each iteration"
+    (paper section 3.5): we keep per-resource member lists and recompute
+    only the lazily cached killed sets.
+    """
+
+    def __init__(self, function: Function, rules: KillRules) -> None:
+        self.rules = rules
+        self.parent: dict[Resource, Resource] = {}
+        self.members: dict[Resource, list[Var]] = {}
+        self._killed_cache: dict[Resource, set[Var]] = {}
+        # Pinned *uses* write their resource just before the instruction
+        # (the reconstruction's use-pin moves, e.g. call arguments into
+        # R0).  A variable live across such a write is killed by the
+        # merge, so the interference test must see these sites; they are
+        # keyed by the pin and looked up through find() after merges.
+        self._use_pin_sites: dict[Resource, list[tuple[str, int, Var]]] = {}
+        for block in function.iter_blocks():
+            for pos, instr in enumerate(block.body):
+                for op in instr.defs:
+                    if isinstance(op.value, Var):
+                        res = resource_of(op)
+                        self._ensure(res)
+                        self._ensure(op.value)
+                        if res != op.value:
+                            self._union_raw(res, op.value)
+                for op in instr.uses:
+                    if op.pin is not None and isinstance(op.value, Var):
+                        self._ensure(op.pin)
+                        self._use_pin_sites.setdefault(op.pin, []).append(
+                            (block.label, pos, op.value))
+            for phi in block.phis:
+                for op in phi.defs:
+                    if isinstance(op.value, Var):
+                        res = resource_of(op)
+                        self._ensure(res)
+                        self._ensure(op.value)
+                        if res != op.value:
+                            self._union_raw(res, op.value)
+
+    def _ensure(self, res: Resource) -> None:
+        if res not in self.parent:
+            self.parent[res] = res
+            self.members[res] = [res] if isinstance(res, Var) else []
+
+    def find(self, res: Resource) -> Resource:
+        self._ensure(res)
+        root = res
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[res] != root:
+            self.parent[res], res = root, self.parent[res]
+        return root
+
+    def _union_raw(self, a: Resource, b: Resource) -> Resource:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        # A physical register must stay the representative.
+        if isinstance(rb, PhysReg):
+            ra, rb = rb, ra
+        if isinstance(ra, PhysReg) and isinstance(rb, PhysReg):
+            raise ValueError(
+                f"cannot merge physical registers {ra} and {rb}")
+        self.parent[rb] = ra
+        self.members[ra] = self.members[ra] + self.members[rb]
+        self.members[rb] = []
+        self._killed_cache.pop(ra, None)
+        self._killed_cache.pop(rb, None)
+        return ra
+
+    def merge(self, a: Resource, b: Resource) -> Resource:
+        return self._union_raw(a, b)
+
+    def group(self, res: Resource) -> list[Var]:
+        return self.members[self.find(res)]
+
+    # ------------------------------------------------------------------
+    def _sites(self, root: Resource) -> list[tuple[str, int, Var]]:
+        """Use-pin write sites currently targeting resource *root*."""
+        sites: list[tuple[str, int, Var]] = []
+        for pin, entries in self._use_pin_sites.items():
+            if self.find(pin) == root:
+                sites.extend(entries)
+        return sites
+
+    def _site_kills(self, site: tuple[str, int, Var], victim: Var) -> bool:
+        """Does the use-pin move at *site* destroy *victim*'s value?"""
+        label, pos, moved = site
+        if victim == moved:
+            return False
+        return self.rules.ssa.liveness.is_live_after(victim, label, pos)
+
+    def killed_within(self, res: Resource) -> set[Var]:
+        """Paper's ``Resource_killed``: members already killed by another
+        member (or by themselves -- the lost-copy self-kill), or by a
+        use-pin move writing the resource."""
+        root = self.find(res)
+        cached = self._killed_cache.get(root)
+        if cached is None:
+            group = self.members[root]
+            cached = set()
+            sites = self._sites(root)
+            for victim in group:
+                for writer in group:
+                    if self.rules.variable_kills(writer, victim):
+                        cached.add(victim)
+                        break
+                else:
+                    for site in sites:
+                        if self._site_kills(site, victim):
+                            cached.add(victim)
+                            break
+            self._killed_cache[root] = cached
+        return cached
+
+    def interfere(self, a: Resource, b: Resource) -> bool:
+        """Paper's ``Resource_interfere``: would merging *a* and *b*
+        create a new simple interference or any strong interference?
+
+        Beyond the paper's pseudo-code, pinned-use write sites of each
+        resource (call-argument moves and the like) count as writers:
+        a candidate member that is live across such a write would need a
+        new repair, which is exactly the "new interference" Condition 2
+        forbids.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if isinstance(ra, PhysReg) and isinstance(rb, PhysReg):
+            return True
+        killed_a = self.killed_within(ra)
+        killed_b = self.killed_within(rb)
+        for va in self.members[ra]:
+            for vb in self.members[rb]:
+                if va not in killed_a and self.rules.variable_kills(vb, va):
+                    return True
+                if vb not in killed_b and self.rules.variable_kills(va, vb):
+                    return True
+                if self.rules.strongly_interfere(va, vb):
+                    return True
+        for site in self._sites(ra):
+            for vb in self.members[rb]:
+                if vb not in killed_b and self._site_kills(site, vb):
+                    return True
+        for site in self._sites(rb):
+            for va in self.members[ra]:
+                if va not in killed_a and self._site_kills(site, va):
+                    return True
+        return False
+
+
+Traversal = Literal["inner-to-outer", "outer-to-inner", "layout"]
+
+
+def coalesce_phis(function: Function,
+                  mode: InterferenceMode = "base",
+                  depth_ordered: bool = False,
+                  literal_weight_update: bool = False,
+                  traversal: Traversal = "inner-to-outer",
+                  weight_ordered: bool = True,
+                  phys_affinity: bool = True) -> CoalescingStats:
+    """Run ``Program_pinning`` on *function* (in place, pins only).
+
+    The function must be in SSA form; only operand pins are modified.
+    Critical edges are split first so the interference model matches
+    what the reconstruction will emit.
+
+    ``phys_affinity=False`` forbids merging a phi web into a
+    *physical-register* resource.  The paper's algorithm allows such
+    merges (its Figure 8 partial coalescing relies on the mechanism);
+    they trade phi-edge copies for a frozen register and can inhibit the
+    later aggressive coalescing on call-heavy code -- the approximation
+    the paper itself flags as [LIM1].  ``benchmarks/bench_ablations.py``
+    quantifies the trade-off.
+    """
+    split_critical_edges(function)
+    coalescer = _Coalescer(function, mode, depth_ordered,
+                           literal_weight_update, traversal, weight_ordered,
+                           phys_affinity)
+    return coalescer.run()
+
+
+class _Coalescer:
+    def __init__(self, function: Function, mode: InterferenceMode,
+                 depth_ordered: bool, literal_weight_update: bool,
+                 traversal: Traversal, weight_ordered: bool,
+                 phys_affinity: bool = True) -> None:
+        self.function = function
+        self.depth_ordered = depth_ordered
+        self.literal = literal_weight_update
+        self.weight_ordered = weight_ordered
+        self.phys_affinity = phys_affinity
+        self.ssa = SSAInterference(function)
+        self.rules = KillRules(self.ssa, mode)
+        self.pool = ResourcePool(function, self.rules)
+        self.loops = LoopForest(function, self.ssa.domtree)
+        self.traversal = traversal
+        self.stats = CoalescingStats()
+
+    # ------------------------------------------------------------------
+    def run(self) -> CoalescingStats:
+        if self.depth_ordered:
+            # Paper Algorithm 3: handle affinities whose argument is
+            # defined at the innermost depth first.
+            for depth in range(self.loops.max_depth(), -1, -1):
+                for label in self._block_order():
+                    self._process_block(label, depth)
+        else:
+            for label in self._block_order():
+                self._process_block(label, None)
+        self._apply_pins()
+        return self.stats
+
+    def _block_order(self) -> list[str]:
+        if self.traversal == "inner-to-outer":
+            return self.loops.blocks_inner_to_outer()
+        if self.traversal == "outer-to-inner":
+            return list(reversed(self.loops.blocks_inner_to_outer()))
+        return list(self.ssa.domtree.order)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: Create_affinity_graph
+    # ------------------------------------------------------------------
+    def _affinity_graph(self, label: str, depth: Optional[int]) \
+            -> tuple[set[Resource], dict[tuple[Resource, Resource], int]]:
+        block = self.function.blocks[label]
+        vertices: set[Resource] = set()
+        edges: dict[tuple[Resource, Resource], int] = {}
+        for phi in block.phis:
+            dest = self.pool.find(resource_of(phi.defs[0]))
+            vertices.add(dest)
+            for _, op in phi.phi_pairs():
+                if not isinstance(op.value, Var):
+                    continue
+                if depth is not None:
+                    def_block = self.ssa.defuse.def_block(op.value)
+                    if def_block is None or \
+                            self.loops.depth(def_block) != depth:
+                        continue
+                arg = self.pool.find(self._resource_of_var(op.value))
+                vertices.add(arg)
+                if arg == dest:
+                    continue  # already coalesced: a realized gain
+                key = self._edge_key(dest, arg)
+                edges[key] = edges.get(key, 0) + 1
+        self.stats.affinity_edges += sum(edges.values())
+        return vertices, edges
+
+    def _resource_of_var(self, var: Var) -> Resource:
+        return self.pool.find(var)
+
+    @staticmethod
+    def _edge_key(a: Resource, b: Resource) -> tuple[Resource, Resource]:
+        return affinity.edge_key(a, b)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: pruning
+    # ------------------------------------------------------------------
+    def _interference_predicate(self):
+        if self.phys_affinity:
+            return self.pool.interfere
+
+        def strict(a: Resource, b: Resource) -> bool:
+            if isinstance(self.pool.find(a), PhysReg) \
+                    or isinstance(self.pool.find(b), PhysReg):
+                return True
+            return self.pool.interfere(a, b)
+
+        return strict
+
+    def _process_block(self, label: str, depth: Optional[int]) -> None:
+        block = self.function.blocks[label]
+        if not block.phis:
+            return
+        vertices, edges = self._affinity_graph(label, depth)
+        if not edges:
+            return
+        interfere = self._interference_predicate()
+        self.stats.pruned_initial += affinity.initial_prune(edges, interfere)
+        if not edges:
+            return
+        self.stats.pruned_weighted += affinity.weighted_prune(
+            edges, interfere, literal=self.literal,
+            ordered=self.weight_ordered)
+        self.stats.pruned_safety += affinity.safety_split(edges, interfere)
+        self._merge_components(edges)
+
+    def _merge_components(self, edges: dict) -> None:
+        for component in affinity.components(edges):
+            members = sorted(component,
+                             key=lambda r: (r.__class__.__name__, r.name))
+            if len(members) < 2:
+                continue
+            rep = members[0]
+            for other in members[1:]:
+                rep = self.pool.merge(rep, other)
+            self.stats.merged_components += 1
+
+    # ------------------------------------------------------------------
+    # PrunedGraph_pinning: apply the pool state as definition pins.
+    # ------------------------------------------------------------------
+    def _apply_pins(self) -> None:
+        for block in self.function.iter_blocks():
+            for instr in block.instructions():
+                for op in instr.defs:
+                    if not isinstance(op.value, Var):
+                        continue
+                    rep = self.pool.find(resource_of(op))
+                    if rep != op.value:
+                        if op.pin != rep:
+                            op.pin = rep
+                            self.stats.pinned_variables += 1
+                    else:
+                        op.pin = None
+                for op in instr.uses:
+                    if op.pin is not None:
+                        op.pin = self.pool.find(op.pin)
+        # Count the gain: phi arguments sharing their phi's resource.
+        for block in self.function.iter_blocks():
+            for phi in block.phis:
+                dest = self.pool.find(resource_of(phi.defs[0]))
+                for _, op in phi.phi_pairs():
+                    if isinstance(op.value, Var) and \
+                            self.pool.find(op.value) == dest:
+                        self.stats.gain += 1

@@ -1,0 +1,320 @@
+"""Sreedhar et al.'s SSA-to-CSSA conversion (Method III) + pinningCSSA.
+
+The comparison baseline of paper section 4.2: "first translating the SSA
+form into CSSA (Conventional SSA) form.  In CSSA, it is correct to
+replace all variable names that are part of a common phi instruction by
+a common name" -- copies are inserted to eliminate phi operand
+interferences first.  We implement the third (interference- and
+liveness-guided) method:
+
+* phis are processed **one at a time** in layout order -- the paper's
+  point [CS1]: each phi is optimized separately, unlike our coalescer
+  which treats all phis of a block together;
+* for each interfering pair of operand congruence classes, the class to
+  split is chosen with live-out tests (the four cases of Sreedhar's
+  Method III); unresolved pairs are settled greedily by splitting the
+  operand involved in the most pairs -- the step the paper notes its
+  own pruning generalizes ("in the particular case of a unique phi
+  instruction, this is identical to the 'Process the unresolved
+  resources' of the algorithm of Sreedhar et al.", section 3.4);
+* split copies are **sequential** at the end of predecessor blocks /
+  the top of the phi block -- point [CS2]: no parallel-copy placement;
+* the conversion knows nothing about ABI pins -- point [CS3].
+
+Following the authors' experimental setup, the result is handed to the
+shared reconstruction through ``pinningCSSA``: "pins all the operands of
+a phi to a same resource, and allows the out-of-pinned-SSA phase to be
+used as an out-of-CSSA algorithm" (section 5).  Members whose
+definitions already carry a physical pin (SP, ABI) keep it; the
+resulting extra edge moves are precisely the cost of ABI-blind
+coalescing that Table 3 charges to ``Sφ+LABI+C``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..analysis.interference import SSAInterference
+from ..ir.cfg import split_critical_edges
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Operand, make_copy
+from ..ir.types import Resource, Var
+
+
+@dataclass
+class SreedharStats:
+    split_copies: int = 0
+    phis_processed: int = 0
+    classes: int = 0
+    pinned: int = 0
+
+
+@dataclass(frozen=True)
+class _Prime:
+    """Descriptor of a split copy's fresh variable.
+
+    ``kind`` is ``"arg"`` (copy at the end of block ``where``) or
+    ``"def"`` (copy at the top of block ``where``); the live range is
+    tiny and known by construction, so interference against it is
+    decided from block-level liveness without re-running any analysis.
+    """
+
+    var: Var
+    kind: str
+    where: str
+
+
+_Member = Union[Var, _Prime]
+
+
+class _Classes:
+    """Union-find over congruence-class members."""
+
+    def __init__(self) -> None:
+        self.parent: dict[_Member, _Member] = {}
+        self.members: dict[_Member, list[_Member]] = {}
+
+    def ensure(self, item: _Member) -> None:
+        if item not in self.parent:
+            self.parent[item] = item
+            self.members[item] = [item]
+
+    def find(self, item: _Member) -> _Member:
+        self.ensure(item)
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: _Member, b: _Member) -> _Member:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        self.parent[rb] = ra
+        self.members[ra].extend(self.members[rb])
+        self.members[rb] = []
+        return ra
+
+    def group(self, item: _Member) -> list[_Member]:
+        return self.members[self.find(item)]
+
+
+def sreedhar_to_cssa(function: Function,
+                     pin_classes: bool = True) -> SreedharStats:
+    """Convert *function* to CSSA in place (Method III).
+
+    With ``pin_classes`` (the default, = the paper's ``pinningCSSA``),
+    every congruence-class member definition without a physical pin is
+    pinned to the class representative, ready for
+    :func:`repro.outofssa.leung_george.out_of_pinned_ssa`.
+    """
+    split_critical_edges(function)
+    converter = _Converter(function)
+    stats = converter.run()
+    if pin_classes:
+        stats.pinned = converter.pin_classes()
+    return stats
+
+
+class _Converter:
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.ssa = SSAInterference(function)
+        self.classes = _Classes()
+        self.stats = SreedharStats()
+        # Batched physical edits: copies at block ends / tops.
+        self.end_copies: dict[str, list[Instruction]] = {}
+        self.top_copies: dict[str, list[Instruction]] = {}
+        self.phi_members: list[tuple[Instruction, list[_Member]]] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> SreedharStats:
+        for label in list(self.function.blocks):
+            block = self.function.blocks[label]
+            for phi in list(block.phis):
+                self._process_phi(label, phi)
+                self.stats.phis_processed += 1
+        self._apply_edits()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Interference between members / classes
+    # ------------------------------------------------------------------
+    def _live_out(self, label: str) -> set:
+        return self.ssa.liveness.live_out[label]
+
+    def _member_interfere(self, a: _Member, b: _Member) -> bool:
+        if a == b:
+            return False
+        if isinstance(a, _Prime) and isinstance(b, _Prime):
+            return a.kind == b.kind and a.where == b.where
+        if isinstance(a, _Prime) or isinstance(b, _Prime):
+            prime, other = (a, b) if isinstance(a, _Prime) else (b, a)
+            assert isinstance(other, Var)
+            if prime.kind == "arg":
+                return other in self._live_out(prime.where)
+            block = self.function.blocks[prime.where]
+            return (other in self.ssa.liveness.live_in[prime.where]
+                    or other in block.phi_defs())
+        # Two ordinary SSA variables.
+        if self._same_block_phi_defs(a, b):
+            return True
+        return self.ssa.interfere(a, b)
+
+    def _same_block_phi_defs(self, a: Var, b: Var) -> bool:
+        site_a = self.ssa.defuse.def_site(a)
+        site_b = self.ssa.defuse.def_site(b)
+        return (site_a is not None and site_b is not None
+                and site_a.is_phi and site_b.is_phi
+                and site_a.block == site_b.block)
+
+    def _class_interfere(self, a: _Member, b: _Member) -> bool:
+        if self.classes.find(a) == self.classes.find(b):
+            return False
+        for ma in self.classes.group(a):
+            for mb in self.classes.group(b):
+                if self._member_interfere(ma, mb):
+                    return True
+        return False
+
+    def _class_live_out(self, member: _Member, label: str) -> bool:
+        for m in self.classes.group(member):
+            if isinstance(m, Var):
+                if m in self._live_out(label):
+                    return True
+            elif m.kind == "arg" and m.where == label:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Per-phi processing (the heart of Method III)
+    # ------------------------------------------------------------------
+    def _process_phi(self, label: str, phi: Instruction) -> None:
+        # Operand tuples: (index, member, location-block); index -1 is
+        # the definition, whose "location" is the phi's own block.
+        operands: list[tuple[int, _Member, str]] = []
+        dest = phi.defs[0].value
+        assert isinstance(dest, Var)
+        self.classes.ensure(dest)
+        operands.append((-1, dest, label))
+        for i, (pred, op) in enumerate(phi.phi_pairs()):
+            if isinstance(op.value, Var):
+                self.classes.ensure(op.value)
+                operands.append((i, op.value, pred))
+
+        conflicts: list[tuple[int, int]] = []
+        for i in range(len(operands)):
+            for j in range(i + 1, len(operands)):
+                if self._class_interfere(operands[i][1], operands[j][1]):
+                    conflicts.append((i, j))
+        candidates: set[int] = set()
+        unresolved: list[tuple[int, int]] = []
+        for i, j in conflicts:
+            _, mi, li = operands[i]
+            _, mj, lj = operands[j]
+            i_lives = self._class_live_out(mi, lj)
+            j_lives = self._class_live_out(mj, li)
+            if i_lives and not j_lives:
+                candidates.add(i)
+            elif j_lives and not i_lives:
+                candidates.add(j)
+            elif i_lives and j_lives:
+                candidates.add(i)
+                candidates.add(j)
+            else:
+                unresolved.append((i, j))
+        # "Process the unresolved resources": split the operand that
+        # appears in the most unsettled pairs, repeatedly.
+        pending = [p for p in unresolved
+                   if p[0] not in candidates and p[1] not in candidates]
+        while pending:
+            counts: dict[int, int] = {}
+            for i, j in pending:
+                counts[i] = counts.get(i, 0) + 1
+                counts[j] = counts.get(j, 0) + 1
+            pick = max(sorted(counts), key=lambda k: counts[k])
+            candidates.add(pick)
+            pending = [p for p in pending
+                       if p[0] not in candidates and p[1] not in candidates]
+
+        new_members: list[_Member] = []
+        for pos, (index, member, _loc) in enumerate(operands):
+            if pos in candidates:
+                new_members.append(self._split(phi, label, index, member))
+            else:
+                new_members.append(member)
+        rep = new_members[0]
+        for member in new_members[1:]:
+            rep = self.classes.union(rep, member)
+        self.phi_members.append((phi, new_members))
+
+    def _split(self, phi: Instruction, label: str, index: int,
+               member: _Member) -> _Member:
+        """Insert the split copy for one phi operand; return the fresh
+        member that replaces it in the phi."""
+        self.stats.split_copies += 1
+        if index == -1:
+            # Split the definition: x0 = phi(...) becomes
+            # x'0 = phi(...); x0 = x'0   at the top of the block.
+            assert isinstance(member, Var)
+            fresh = self.function.new_var(f"{member.name}_cs",
+                                          member.regclass)
+            prime = _Prime(fresh, "def", label)
+            # A pre-existing pin (SP, ABI) follows the variable to its
+            # new definition, the inserted copy.
+            self.top_copies.setdefault(label, []).append(
+                make_copy(member, fresh, dest_pin=phi.defs[0].pin))
+            phi.defs[0] = Operand(fresh, None, is_def=True)
+            self.classes.ensure(prime)
+            return prime
+        # Split an argument: insert x'i = xi at the end of its block.
+        pred = phi.attrs["incoming"][index]
+        old = phi.uses[index].value
+        assert isinstance(old, Var)
+        fresh = self.function.new_var(f"{old.name}_cs", old.regclass)
+        prime = _Prime(fresh, "arg", pred)
+        self.end_copies.setdefault(pred, []).append(make_copy(fresh, old))
+        phi.uses[index] = Operand(fresh, None, is_def=False)
+        self.classes.ensure(prime)
+        return prime
+
+    # ------------------------------------------------------------------
+    def _apply_edits(self) -> None:
+        for label, copies in self.top_copies.items():
+            block = self.function.blocks[label]
+            for copy in reversed(copies):
+                block.insert_at_entry(copy)
+        for label, copies in self.end_copies.items():
+            block = self.function.blocks[label]
+            for copy in copies:  # sequential, in insertion order
+                block.insert_before_terminator(copy)
+
+    # ------------------------------------------------------------------
+    def pin_classes(self) -> int:
+        """``pinningCSSA``: pin every class member definition (without a
+        physical pin) to the class representative resource."""
+        rep_for: dict[_Member, Resource] = {}
+        for phi, members in self.phi_members:
+            root = self.classes.find(members[0])
+            if root not in rep_for:
+                rep = next((m.var if isinstance(m, _Prime) else m)
+                           for m in self.classes.group(root))
+                rep_for[root] = rep
+        target_var: dict[Var, Resource] = {}
+        for root, rep in rep_for.items():
+            for member in self.classes.group(root):
+                var = member.var if isinstance(member, _Prime) else member
+                target_var[var] = rep
+        pinned = 0
+        for instr in self.function.instructions():
+            for op in instr.defs:
+                if isinstance(op.value, Var) and op.value in target_var:
+                    rep = target_var[op.value]
+                    if op.pin is None and rep != op.value:
+                        op.pin = rep
+                        pinned += 1
+        self.stats.classes = len(rep_for)
+        return pinned

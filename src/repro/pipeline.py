@@ -1,0 +1,246 @@
+"""Experiment pipelines -- the pass compositions of the paper's Table 1.
+
+Every experiment is a named sequence of phases applied to a *non-SSA*
+input module:
+
+========================  =====================================================
+phase                      meaning
+========================  =====================================================
+``ssa``                    pruned SSA construction (always first)
+``sreedhar``               Sreedhar et al. Method III conversion + pinningCSSA
+``pinningSP``              re-pin stack-pointer webs (always on, section 5)
+``pinningABI``             ABI/2-operand renaming constraints as pins
+``pinningPhi``             the paper's coalescer (variants via options)
+``out-of-pinned-ssa``      Leung & George-style reconstruction
+``naiveABI``               late local ABI lowering (when pinningABI is off)
+``coalescing``             Chaitin-style aggressive repeated coalescing (C)
+========================  =====================================================
+
+:data:`EXPERIMENTS` reproduces the exact bullet matrix of Table 1, keyed
+by the labels used in Tables 2-4 (``Lφ+C``, ``Sφ+C``, ``LABI+C``, ...);
+:func:`run_experiment` executes one of them on a module and returns the
+transformed module plus the collected statistics.  The pipeline verifies
+the IR between phases and can check semantic equivalence against the
+reference interpreter (``verify=...``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .interp import run_module
+from .ir.function import Function, Module
+from .ir.validate import validate_function
+from .machine.constraints import pinning_abi, pinning_sp
+from .machine.st120 import ST120
+from .machine.target import Target
+from .metrics import count_instructions, count_moves, weighted_moves
+from .outofssa.chaitin import aggressive_coalesce
+from .outofssa.leung_george import out_of_pinned_ssa
+from .outofssa.naive_abi import naive_abi
+from .outofssa.pinning_coalescer import coalesce_phis
+from .outofssa.sreedhar import sreedhar_to_cssa
+from .ssa.construction import construct_ssa
+from .ssa.copyprop import optimize_ssa
+
+
+def ensure_ssa(function: Function) -> None:
+    """Bring *function* into SSA form.
+
+    Sources already containing phi instructions (the paper's figure
+    examples are written directly in SSA) are validated and get their
+    critical edges split; everything else goes through pruned SSA
+    construction.
+    """
+    from .ir.cfg import split_critical_edges
+
+    if any(block.phis for block in function.iter_blocks()):
+        split_critical_edges(function)
+        validate_function(function, ssa=True)
+    else:
+        construct_ssa(function)
+
+
+@dataclass
+class PhaseOptions:
+    """Knobs of the ``pinningPhi`` phase (paper Table 5 variants and the
+    ablation benchmarks)."""
+
+    mode: str = "base"  # "base" | "optimistic" | "pessimistic"
+    depth_ordered: bool = False
+    literal_weight_update: bool = False
+    traversal: str = "inner-to-outer"
+    weight_ordered: bool = True
+    phys_affinity: bool = True
+
+
+@dataclass
+class ExperimentResult:
+    name: str
+    module: Module
+    moves: int = 0
+    weighted: int = 0
+    instructions: int = 0
+    phase_stats: dict = field(default_factory=dict)
+
+    def row(self) -> tuple:
+        return (self.name, self.moves, self.weighted)
+
+
+#: The bullet matrix of paper Table 1: experiment -> active phases.
+EXPERIMENTS: dict[str, tuple[str, ...]] = {
+    # Table 2 (no ABI constraints)
+    "Lphi+C": ("ssa", "copyprop", "pinningSP", "pinningPhi", "out-of-pinned-ssa",
+               "coalescing"),
+    "C": ("ssa", "copyprop", "pinningSP", "out-of-pinned-ssa", "coalescing"),
+    "Sphi+C": ("ssa", "copyprop", "pinningSP", "sreedhar", "out-of-pinned-ssa",
+               "coalescing"),
+    # Table 3 (with renaming constraints)
+    "Lphi,ABI+C": ("ssa", "copyprop", "pinningSP", "pinningABI", "pinningPhi",
+                   "out-of-pinned-ssa", "coalescing"),
+    "Sphi+LABI+C": ("ssa", "copyprop", "pinningSP", "pinningABI", "sreedhar",
+                    "out-of-pinned-ssa", "coalescing"),
+    "LABI+C": ("ssa", "copyprop", "pinningSP", "pinningABI", "out-of-pinned-ssa",
+               "coalescing"),
+    "naiveABI+C": ("ssa", "copyprop", "pinningSP", "out-of-pinned-ssa", "naiveABI",
+                   "coalescing"),
+    # Table 4 (no late coalescing: order-of-magnitude counts)
+    "Lphi,ABI": ("ssa", "copyprop", "pinningSP", "pinningABI", "pinningPhi",
+                 "out-of-pinned-ssa"),
+    "Sphi": ("ssa", "copyprop", "pinningSP", "sreedhar", "out-of-pinned-ssa",
+             "naiveABI"),
+    "LABI": ("ssa", "copyprop", "pinningSP", "pinningABI", "out-of-pinned-ssa"),
+}
+
+#: Paper table -> experiments, first column is the baseline the deltas
+#: are computed against (the tables print "+N" relative to it).
+TABLE_EXPERIMENTS: dict[str, tuple[str, ...]] = {
+    "table2": ("Lphi+C", "C", "Sphi+C"),
+    "table3": ("Lphi,ABI+C", "Sphi+LABI+C", "LABI+C", "naiveABI+C"),
+    "table4": ("Lphi,ABI", "Sphi", "LABI"),
+}
+
+
+def run_experiment(module: Module, name: str,
+                   options: Optional[PhaseOptions] = None,
+                   target: Target = ST120,
+                   verify: Optional[Sequence[tuple[str, Sequence[int]]]]
+                   = None,
+                   validate: bool = True) -> ExperimentResult:
+    """Run experiment *name* on a fresh copy of *module*.
+
+    ``verify`` is an optional list of ``(function_name, args)`` pairs;
+    the observable trace of each is compared before and after the whole
+    pipeline, making every experiment self-checking.
+    """
+    phases = EXPERIMENTS[name]
+    return run_phases(module, name, phases, options, target, verify,
+                      validate)
+
+
+def run_phases(module: Module, name: str, phases: Iterable[str],
+               options: Optional[PhaseOptions] = None,
+               target: Target = ST120,
+               verify: Optional[Sequence[tuple[str, Sequence[int]]]] = None,
+               validate: bool = True) -> ExperimentResult:
+    options = options or PhaseOptions()
+    work = module.copy()
+    result = ExperimentResult(name=name, module=work)
+    references = {}
+    if verify:
+        for fn_name, args in verify:
+            references[(fn_name, tuple(args))] = \
+                run_module(module, fn_name, args).observable()
+
+    in_ssa = False
+    for phase in phases:
+        stats = None
+        if phase == "ssa":
+            for function in work.iter_functions():
+                ensure_ssa(function)
+            in_ssa = True
+        elif phase == "copyprop":
+            stats = {f.name: optimize_ssa(f)
+                     for f in work.iter_functions()}
+        elif phase == "pinningSP":
+            stats = {f.name: pinning_sp(f, target)
+                     for f in work.iter_functions()}
+        elif phase == "pinningABI":
+            stats = {f.name: pinning_abi(f, target)
+                     for f in work.iter_functions()}
+        elif phase == "sreedhar":
+            stats = {f.name: sreedhar_to_cssa(f)
+                     for f in work.iter_functions()}
+        elif phase == "pinningPhi":
+            stats = {f.name: coalesce_phis(
+                f, mode=options.mode,
+                depth_ordered=options.depth_ordered,
+                literal_weight_update=options.literal_weight_update,
+                traversal=options.traversal,
+                weight_ordered=options.weight_ordered,
+                phys_affinity=options.phys_affinity)
+                for f in work.iter_functions()}
+        elif phase == "out-of-pinned-ssa":
+            stats = {f.name: out_of_pinned_ssa(f)
+                     for f in work.iter_functions()}
+            in_ssa = False
+        elif phase == "naiveABI":
+            stats = {f.name: naive_abi(f, target)
+                     for f in work.iter_functions()}
+        elif phase == "coalescing":
+            stats = {f.name: aggressive_coalesce(f)
+                     for f in work.iter_functions()}
+        else:
+            raise ValueError(f"unknown phase {phase!r}")
+        if stats is not None:
+            result.phase_stats[phase] = stats
+        if validate:
+            for function in work.iter_functions():
+                validate_function(function, ssa=in_ssa,
+                                  allow_phis=in_ssa)
+
+    for key, reference in references.items():
+        fn_name, args = key
+        after = run_module(work, fn_name, args).observable()
+        if after != reference:
+            raise AssertionError(
+                f"{name}: {fn_name}{tuple(args)} changed behaviour: "
+                f"{reference} -> {after}")
+
+    result.moves = count_moves(work)
+    result.weighted = weighted_moves(work)
+    result.instructions = count_instructions(work)
+    return result
+
+
+def run_table(module: Module, table: str,
+              verify: Optional[Sequence[tuple[str, Sequence[int]]]] = None,
+              ) -> list[ExperimentResult]:
+    """Run all experiments of one paper table on *module*."""
+    return [run_experiment(module, name, verify=verify)
+            for name in TABLE_EXPERIMENTS[table]]
+
+
+def table5_variants() -> dict[str, PhaseOptions]:
+    """The four Table 5 configurations of the coalescer."""
+    return {
+        "base": PhaseOptions(),
+        "depth": PhaseOptions(depth_ordered=True),
+        "opt": PhaseOptions(mode="optimistic"),
+        "pess": PhaseOptions(mode="pessimistic"),
+    }
+
+
+def run_table5(module: Module,
+               verify: Optional[Sequence[tuple[str, Sequence[int]]]] = None,
+               ) -> list[ExperimentResult]:
+    """Table 5: weighted move counts of the coalescer variants, using
+    the full constrained pipeline (``Lφ,ABI+C``)."""
+    results = []
+    for label, options in table5_variants().items():
+        result = run_experiment(module, "Lphi,ABI+C", options=options,
+                                verify=verify)
+        result.name = label
+        results.append(result)
+    return results

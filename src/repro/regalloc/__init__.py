@@ -1,0 +1,7 @@
+"""Graph-coloring register allocation (the downstream phase)."""
+
+from .coloring import AllocationError, AllocationResult, allocate_function
+from .spill import insert_spill_code
+
+__all__ = ["AllocationError", "AllocationResult", "allocate_function",
+           "insert_spill_code"]

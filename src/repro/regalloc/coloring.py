@@ -1,0 +1,264 @@
+"""Chaitin/Briggs graph-coloring register allocation.
+
+The last stage the paper defers to ("constraints on the number of
+general-purpose registers are handled later, in the register allocation
+phase", section 2): take the phi-free, pin-respecting output of the
+out-of-SSA translation and assign every variable a physical register,
+spilling when the interference graph is not K-colorable.
+
+Structure (classic Chaitin-Briggs):
+
+1. build the interference graph (with the copy refinement);
+2. *conservative coalescing* of moves (Briggs criterion: merge when the
+   combined node has fewer than K neighbors of significant degree) --
+   the allocator-level cousin of the paper's aggressive pre-pass;
+3. simplify: repeatedly remove nodes of degree < K (optimistically
+   pushing a spill candidate when stuck -- Briggs' optimism);
+4. select: pop and color; uncolorable optimistic nodes become actual
+   spills, spill code is inserted and the whole thing reruns.
+
+Register classes are allocated independently: data variables over the
+GPR pool, pointer variables over the PTR pool; precolored nodes
+(physical registers already named by the ABI lowering) keep their
+color.  The stack pointer is never allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.interference import InterferenceGraph
+from ..analysis.liveness import Liveness
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Operand
+from ..ir.types import PhysReg, RegClass, Var
+from ..machine.st120 import ST120
+from ..machine.target import Target
+from .spill import insert_spill_code
+
+
+class AllocationError(Exception):
+    """Raised when allocation cannot make progress (e.g. more
+    precolored conflicts than registers)."""
+
+
+@dataclass
+class AllocationResult:
+    assignment: dict[Var, PhysReg] = field(default_factory=dict)
+    spilled: list[Var] = field(default_factory=list)
+    spill_instructions: int = 0
+    coalesced_moves: int = 0
+    rounds: int = 0
+
+
+def allocate_function(function: Function, target: Target = ST120,
+                      gpr_pool: Optional[list[str]] = None,
+                      coalesce: bool = True,
+                      max_rounds: int = 12) -> AllocationResult:
+    """Allocate registers for *function* in place."""
+    pools = {
+        RegClass.GPR: [target.reg(n) for n in
+                       (gpr_pool or [f"R{i}" for i in range(8)])],
+        RegClass.PTR: [target.reg(f"P{i}") for i in range(6)],
+        RegClass.COND: [target.reg(f"G{i}") for i in range(4)],
+    }
+    result = AllocationResult()
+    next_slot = 0
+    spill_slots: dict[Var, int] = {}
+    spill_temps: set[Var] = set()
+    for round_index in range(max_rounds):
+        result.rounds = round_index + 1
+        allocator = _Round(function, pools, coalesce, spill_temps)
+        spills = allocator.run()
+        result.coalesced_moves += allocator.coalesced
+        if not spills:
+            result.assignment = allocator.assignment
+            _rewrite(function, allocator.assignment, allocator.alias)
+            return result
+        if all(var in spill_temps for var in spills):
+            # Even minimal-range reload temporaries do not fit: some
+            # instruction needs more simultaneously-live operands than
+            # the pool provides.  More rounds cannot help.
+            raise AllocationError(
+                f"{function.name}: register pressure infeasible with "
+                f"{len(pools[RegClass.GPR])} GPRs (an instruction needs "
+                f"more simultaneously-live values than the pool holds)")
+        new_slots = {}
+        for var in spills:
+            spill_slots[var] = next_slot
+            new_slots[var] = next_slot
+            next_slot += 1
+        result.spilled.extend(spills)
+        result.spill_instructions += insert_spill_code(
+            function, new_slots, temps_out=spill_temps)
+    raise AllocationError(
+        f"{function.name}: no convergence after {max_rounds} rounds")
+
+
+class _Round:
+    def __init__(self, function: Function, pools, coalesce: bool,
+                 no_respill: "set[Var] | None" = None) -> None:
+        self.function = function
+        self.pools = pools
+        self.want_coalesce = coalesce
+        self.no_respill = no_respill or set()
+        self.graph = InterferenceGraph(function, Liveness(function))
+        self.alias: dict[Var, object] = {}
+        self.assignment: dict[Var, PhysReg] = {}
+        self.coalesced = 0
+
+    # ------------------------------------------------------------------
+    def _find(self, node):
+        while node in self.alias:
+            node = self.alias[node]
+        return node
+
+    def _pool_of(self, node) -> Optional[list[PhysReg]]:
+        if isinstance(node, Var):
+            if node.regclass == RegClass.SP:
+                return None
+            return self.pools.get(node.regclass,
+                                  self.pools[RegClass.GPR])
+        return None  # physical: precolored
+
+    def _k(self, node) -> int:
+        pool = self._pool_of(node)
+        return len(pool) if pool is not None else 1 << 30
+
+    def _same_class(self, a, b) -> bool:
+        class_a = a.regclass if isinstance(a, (Var, PhysReg)) else None
+        class_b = b.regclass if isinstance(b, (Var, PhysReg)) else None
+        norm = {None: RegClass.GPR, RegClass.SP: RegClass.SP}
+        return (norm.get(class_a, class_a) == norm.get(class_b, class_b))
+
+    def _degree(self, node) -> int:
+        return sum(1 for n in self.graph.neighbors(node)
+                   if self._same_class(node, n))
+
+    # ------------------------------------------------------------------
+    def _coalesce_moves(self) -> None:
+        """Briggs-conservative coalescing of copy instructions."""
+        for block in self.function.iter_blocks():
+            for instr in block.body:
+                if not instr.is_copy:
+                    continue
+                dest = self._find(instr.defs[0].value)
+                src = self._find(instr.uses[0].value)
+                if dest == src:
+                    continue
+                if isinstance(dest, PhysReg) and isinstance(src, PhysReg):
+                    continue
+                if not self._same_class(dest, src):
+                    continue
+                if self.graph.interfere(dest, src):
+                    continue
+                keep, gone = dest, src
+                if isinstance(src, PhysReg):
+                    keep, gone = src, dest
+                # Briggs criterion on the combined node.
+                combined = (self.graph.neighbors(keep)
+                            | self.graph.neighbors(gone)) - {keep, gone}
+                k = min(self._k(keep), self._k(gone))
+                significant = sum(
+                    1 for n in combined
+                    if self._same_class(keep, n) and self._degree(n) >= k)
+                if significant >= k:
+                    continue
+                self.graph.merge(keep, gone)
+                self.alias[gone] = keep
+                self.coalesced += 1
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[Var]:
+        if self.want_coalesce:
+            self._coalesce_moves()
+        nodes = [n for n in self.graph.adjacency
+                 if isinstance(n, Var) and n not in self.alias
+                 and self._pool_of(n) is not None]
+        degrees = {n: self._degree(n) for n in nodes}
+        removed: set = set()
+        stack: list[tuple[Var, bool]] = []  # (node, optimistic)
+        work = set(nodes)
+        while work:
+            candidate = None
+            for node in sorted(work, key=lambda n: (degrees[n], n.name)):
+                if degrees[node] < self._k(node):
+                    candidate = (node, False)
+                    break
+            if candidate is None:
+                # Optimistic spill choice: highest degree / fewest uses;
+                # reload temporaries are never picked again (their
+                # ranges are already minimal -- re-spilling cascades).
+                pool = [n for n in work if n not in self.no_respill] \
+                    or list(work)
+                costs = self._spill_costs(pool)
+                node = max(sorted(pool, key=lambda n: n.name),
+                           key=lambda n: degrees[n] / (1 + costs.get(n, 0)))
+                candidate = (node, True)
+            node, optimistic = candidate
+            stack.append((node, optimistic))
+            work.discard(node)
+            removed.add(node)
+            for neighbor in self.graph.neighbors(node):
+                if neighbor in degrees and neighbor not in removed \
+                        and self._same_class(node, neighbor):
+                    degrees[neighbor] -= 1
+        # Select phase.
+        spills: list[Var] = []
+        colors: dict[object, PhysReg] = {}
+        while stack:
+            node, optimistic = stack.pop()
+            pool = self._pool_of(node)
+            assert pool is not None
+            taken = set()
+            for neighbor in self.graph.neighbors(node):
+                rep = self._find(neighbor)
+                if isinstance(rep, PhysReg):
+                    taken.add(rep)
+                elif rep in colors:
+                    taken.add(colors[rep])
+            free = [reg for reg in pool if reg not in taken]
+            if free:
+                colors[node] = free[0]
+            else:
+                spills.append(node)
+        if not spills:
+            self.assignment = {var: colors[var] for var in colors
+                               if isinstance(var, Var)}
+        return spills
+
+    def _spill_costs(self, nodes) -> dict[Var, int]:
+        costs: dict[Var, int] = {}
+        for instr in self.function.instructions():
+            for op in instr.operands():
+                if op.value in nodes:
+                    costs[op.value] = costs.get(op.value, 0) + 1
+        return costs
+
+
+def _rewrite(function: Function, assignment: dict[Var, PhysReg],
+             alias: dict) -> None:
+    def resolve(value):
+        seen = value
+        while seen in alias:
+            seen = alias[seen]
+        if isinstance(seen, Var):
+            return assignment.get(seen, seen)
+        return seen
+
+    for block in function.iter_blocks():
+        new_body: list[Instruction] = []
+        for instr in block.body:
+            for i, op in enumerate(instr.defs):
+                if isinstance(op.value, Var):
+                    instr.defs[i] = Operand(resolve(op.value), None,
+                                            is_def=True)
+            for i, op in enumerate(instr.uses):
+                if isinstance(op.value, Var):
+                    instr.uses[i] = Operand(resolve(op.value), None,
+                                            is_def=False)
+            if instr.is_copy and instr.defs[0].value == instr.uses[0].value:
+                continue  # coalesced move
+            new_body.append(instr)
+        block.body = new_body

@@ -1,0 +1,155 @@
+"""Local list scheduling -- the phase after the out-of-SSA translation.
+
+The paper's LAO "includes scheduling techniques based on software
+pipelining and superblock scheduling" (section 1); the out-of-SSA
+output feeds it ("reducing the number of move instructions before
+instruction scheduling and register allocation", section 6).  This
+module provides the basic-block version: latency-weighted list
+scheduling over the dependence graph, using the same
+:data:`repro.metrics.CYCLE_COSTS` latency model as the metrics.
+
+Dependences honoured within a block:
+
+* true (def -> use) and output (def -> def of the same location),
+* anti (use -> later def of the same location) -- the scheduler runs on
+  *post-SSA* code where names are reused,
+* memory: stores order against all other memory operations; loads may
+  reorder among themselves,
+* side-effecting instructions (calls, input, stores) keep their mutual
+  program order; the terminator stays last.
+
+The scheduler is list-based with critical-path priority: ready
+instructions are issued on a single-issue machine model; the block's
+*makespan* (finish cycle of the last instruction) is the quantity
+:func:`block_makespan` reports, which is how the tests quantify the
+benefit (e.g. load results no longer consumed back-to-back).
+"""
+
+from __future__ import annotations
+
+from .ir.function import Function
+from .ir.instructions import Instruction
+from .metrics import CYCLE_COSTS
+from .ir.types import PhysReg, Var
+
+_MEMORY = {"load", "store"}
+_PINNED_ORDER = {"call", "store", "input", "readsp"}
+
+
+def _locations(ops):
+    return [op.value for op in ops if isinstance(op.value, (Var, PhysReg))]
+
+
+def build_dependences(body: list[Instruction]) -> dict[int, set[int]]:
+    """``deps[j] = {i, ...}``: instruction *j* must follow every *i*."""
+    deps: dict[int, set[int]] = {j: set() for j in range(len(body))}
+    last_def: dict = {}
+    last_uses: dict = {}
+    last_store: int | None = None
+    last_side_effect: int | None = None
+    for j, instr in enumerate(body):
+        for value in _locations(instr.uses):
+            if value in last_def:
+                deps[j].add(last_def[value])  # true dependence
+        for value in _locations(instr.defs):
+            if value in last_def:
+                deps[j].add(last_def[value])  # output dependence
+            for user in last_uses.get(value, ()):  # anti dependence
+                deps[j].add(user)
+        if instr.opcode in _MEMORY:
+            if last_store is not None:
+                deps[j].add(last_store)
+            if instr.opcode == "store":
+                # a store follows every earlier memory op
+                for i in range(j):
+                    if body[i].opcode in _MEMORY:
+                        deps[j].add(i)
+                last_store = j
+        if instr.opcode in _PINNED_ORDER:
+            if last_side_effect is not None:
+                deps[j].add(last_side_effect)
+            last_side_effect = j
+        if instr.is_terminator:
+            deps[j].update(range(j))
+        for value in _locations(instr.defs):
+            last_def[value] = j
+            last_uses[value] = []
+        for value in _locations(instr.uses):
+            last_uses.setdefault(value, []).append(j)
+        deps[j].discard(j)
+    return deps
+
+
+def _critical_path(body, deps) -> list[int]:
+    succs: dict[int, set[int]] = {i: set() for i in range(len(body))}
+    for j, sources in deps.items():
+        for i in sources:
+            succs[i].add(j)
+    height = [0] * len(body)
+    for i in range(len(body) - 1, -1, -1):
+        cost = CYCLE_COSTS.get(body[i].opcode, 1)
+        height[i] = cost + max((height[j] for j in succs[i]), default=0)
+    return height
+
+
+def schedule_block(body: list[Instruction]) -> list[Instruction]:
+    """Return *body* reordered by critical-path list scheduling."""
+    if len(body) <= 2:
+        return list(body)
+    deps = build_dependences(body)
+    height = _critical_path(body, deps)
+    remaining = dict(deps)
+    done: set[int] = set()
+    order: list[int] = []
+    finish: dict[int, int] = {}
+    clock = 0
+    while len(order) < len(body):
+        dep_done = [i for i in remaining if remaining[i] <= done]
+        ready = [i for i in dep_done
+                 if all(finish[d] <= clock for d in remaining[i])]
+        if not ready:
+            # Stall until the earliest moment some instruction's last
+            # operand arrives.
+            clock = min(max(finish[d] for d in remaining[i])
+                        for i in dep_done)
+            continue
+        # highest critical path first; program order breaks ties
+        ready.sort(key=lambda i: (-height[i], i))
+        pick = ready[0]
+        order.append(pick)
+        done.add(pick)
+        del remaining[pick]
+        latency = CYCLE_COSTS.get(body[pick].opcode, 1)
+        finish[pick] = clock + latency
+        clock += 1  # single issue
+    return [body[i] for i in order]
+
+
+def block_makespan(body: list[Instruction]) -> int:
+    """Finish cycle of the block under the latency model: each cycle one
+    instruction may issue, but an instruction waits for its operands'
+    latencies."""
+    deps = build_dependences(body)
+    finish: dict[int, int] = {}
+    clock = 0
+    for i, instr in enumerate(body):
+        start = max([clock] + [finish[d] for d in deps[i]])
+        finish[i] = start + CYCLE_COSTS.get(instr.opcode, 1)
+        clock = start + 1
+    return max(finish.values(), default=0)
+
+
+def schedule_function(function: Function) -> dict[str, tuple[int, int]]:
+    """Schedule every block; returns per-block (before, after) makespans.
+
+    Requires phi-free code (run after out-of-SSA).
+    """
+    report: dict[str, tuple[int, int]] = {}
+    for block in function.iter_blocks():
+        if block.phis:
+            raise ValueError("schedule_function requires phi-free code")
+        before = block_makespan(block.body)
+        block.body = schedule_block(block.body)
+        after = block_makespan(block.body)
+        report[block.label] = (before, after)
+    return report

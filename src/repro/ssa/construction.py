@@ -1,0 +1,191 @@
+"""Pruned SSA construction (Cytron et al. + liveness pruning).
+
+The paper uses "the pruned SSA form [4]" (section 1).  Construction is
+the classic two-step:
+
+1. insert phi instructions for each name at the iterated dominance
+   frontier of its definition blocks -- *pruned*: only where the name is
+   live-in, so no dead phis are created;
+2. rename along the dominator tree with one version stack per name.
+
+Machine-level twist (Leung & George): *physical registers written as
+operands* (``$SP``, ``$R0``) are renamed exactly like variables -- each
+renamed version remembers its origin register in ``Var.origin`` so the
+collect phase (:mod:`repro.machine.constraints`) can pin the web back to
+the register.  Pins already present on operands survive untouched: pins
+denote resources, which renaming does not touch.
+
+Critical edges are split up front: every out-of-SSA algorithm in this
+code base places edge copies at the end of predecessor blocks and is
+only correct on a critical-edge-free CFG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.dominance import DominatorTree
+from ..analysis.liveness import Liveness
+from ..ir.cfg import (predecessors_map, remove_unreachable_blocks,
+                      split_critical_edges)
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Operand
+from ..ir.types import PhysReg, RegClass, Value, Var
+
+
+class SSAConstructionError(Exception):
+    """Raised on inputs SSA construction cannot handle (e.g. a read of a
+    name along a path with no prior write)."""
+
+
+def construct_ssa(function: Function, prune: bool = True) -> None:
+    """Convert *function* to (pruned) SSA form, in place."""
+    remove_unreachable_blocks(function)
+    split_critical_edges(function)
+    _Builder(function, prune).run()
+
+
+class _Builder:
+    def __init__(self, function: Function, prune: bool) -> None:
+        self.function = function
+        self.prune = prune
+        self.domtree = DominatorTree(function)
+        self.preds = predecessors_map(function)
+        self.liveness = Liveness(function) if prune else None
+        self.counters: dict[str, int] = {}
+        self.stacks: dict[object, list[Var]] = {}
+        self.def_blocks: dict[object, set[str]] = {}
+        self.phi_names: dict[Instruction, object] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        if self.function.iter_blocks() and any(
+                block.phis for block in self.function.iter_blocks()):
+            raise SSAConstructionError(
+                "input already contains phi instructions")
+        self._collect_defs()
+        self._insert_phis()
+        self._rename(self.function.entry, {})
+
+    # ------------------------------------------------------------------
+    def _collect_defs(self) -> None:
+        for block in self.function.iter_blocks():
+            for instr in block.body:
+                for op in instr.defs:
+                    if isinstance(op.value, (Var, PhysReg)):
+                        self.def_blocks.setdefault(
+                            self._key(op.value), set()).add(block.label)
+
+    @staticmethod
+    def _key(value: Value) -> object:
+        """Renaming key: variables by name, registers by identity."""
+        return value
+
+    def _insert_phis(self) -> None:
+        for key, blocks in self.def_blocks.items():
+            if len(blocks) == 0:
+                continue
+            targets = self.domtree.iterated_frontier(set(blocks))
+            for label in targets:
+                if self.prune and self.liveness is not None:
+                    if key not in self.liveness.live_in[label]:
+                        continue
+                block = self.function.blocks[label]
+                incoming = list(self.preds[label])
+                phi = Instruction(
+                    "phi",
+                    [Operand(self._placeholder(key), is_def=True)],
+                    [Operand(self._placeholder(key)) for _ in incoming],
+                    {"incoming": incoming})
+                block.phis.append(phi)
+                self.phi_names[phi] = key
+
+    def _placeholder(self, key: object) -> Value:
+        return key if isinstance(key, (Var, PhysReg)) else Var(str(key))
+
+    # ------------------------------------------------------------------
+    def _base_name(self, key: object) -> tuple[str, RegClass,
+                                               Optional[PhysReg]]:
+        if isinstance(key, PhysReg):
+            return key.name.lower(), key.regclass, key
+        assert isinstance(key, Var)
+        return key.name, key.regclass, key.origin
+
+    def _fresh(self, key: object) -> Var:
+        base, regclass, origin = self._base_name(key)
+        count = self.counters.get(base, 0) + 1
+        self.counters[base] = count
+        return Var(f"{base}.{count}", regclass, origin)
+
+    def _current(self, key: object, where: str) -> Var:
+        stack = self.stacks.get(key)
+        if not stack:
+            raise SSAConstructionError(
+                f"{self.function.name}: read of {key} before any write "
+                f"(in {where})")
+        return stack[-1]
+
+    def _rename(self, label: str, pushed_counts: dict) -> None:
+        # Iterative dominator-tree walk (explicit stack: deep synthetic
+        # CFGs would overflow Python's recursion limit).
+        work: list[tuple[str, Optional[dict]]] = [(label, None)]
+        while work:
+            current, popped = work.pop()
+            if popped is not None:
+                for key, count in popped.items():
+                    stack = self.stacks[key]
+                    del stack[len(stack) - count:]
+                continue
+            pushed: dict[object, int] = {}
+            self._rename_block(current, pushed)
+            work.append((current, pushed))
+            for child in reversed(self.domtree.children[current]):
+                work.append((child, None))
+
+    def _rename_block(self, label: str, pushed: dict) -> None:
+        block = self.function.blocks[label]
+        for phi in block.phis:
+            key = self.phi_names[phi]
+            new = self._fresh(key)
+            phi.defs[0] = Operand(new, phi.defs[0].pin, is_def=True)
+            self.stacks.setdefault(key, []).append(new)
+            pushed[key] = pushed.get(key, 0) + 1
+        for instr in block.body:
+            for i, op in enumerate(instr.uses):
+                if isinstance(op.value, (Var, PhysReg)):
+                    key = self._key(op.value)
+                    if key in self.def_blocks or key in self.stacks:
+                        instr.uses[i] = Operand(
+                            self._current(key, f"{label}: {instr.opcode}"),
+                            op.pin, is_def=False)
+                    elif isinstance(op.value, PhysReg):
+                        raise SSAConstructionError(
+                            f"{self.function.name}: read of register "
+                            f"{op.value} with no reaching write")
+                    else:
+                        raise SSAConstructionError(
+                            f"{self.function.name}: read of undefined "
+                            f"variable {op.value}")
+            for i, op in enumerate(instr.defs):
+                if isinstance(op.value, (Var, PhysReg)):
+                    key = self._key(op.value)
+                    new = self._fresh(key)
+                    instr.defs[i] = Operand(new, op.pin, is_def=True)
+                    self.stacks.setdefault(key, []).append(new)
+                    pushed[key] = pushed.get(key, 0) + 1
+        # Fill phi arguments of successors.
+        for succ_label in block.successors():
+            succ = self.function.blocks[succ_label]
+            for phi in succ.phis:
+                key = self.phi_names.get(phi)
+                if key is None:
+                    continue  # phi not created by this pass
+                stack = self.stacks.get(key)
+                if not stack:
+                    # The name is dead along this edge (pruning may keep
+                    # a phi whose one path never defines the name when
+                    # liveness was disabled); treat as error for pruned.
+                    raise SSAConstructionError(
+                        f"{self.function.name}: {key} undefined on edge "
+                        f"{label} -> {succ_label}")
+                phi.set_phi_arg(label, stack[-1])

@@ -1,0 +1,172 @@
+"""Dominator-based global value numbering on SSA.
+
+The paper's LAO "includes a number of transformations such as induction
+variable optimization, global value numbering, and optimizations based
+on range propagation, in an SSA intermediate representation"
+(section 1), and its out-of-SSA machinery must survive them: value
+numbering entangles phi webs and can even produce the identical-phi
+shape of interference Class 4 ("value numbering should have eliminated
+this case before", section 3.2 -- this pass is the eliminator).
+
+Classic Briggs/Cooper-style dominator-tree value numbering:
+
+* walk the dominator tree in preorder with a scoped hash table;
+* the key of a pure instruction is ``(opcode, value-numbers of the
+  operands)`` (operands sorted for commutative opcodes);
+* a redundant instruction's definition is replaced by the previous
+  representative and the instruction dropped;
+* phis are numbered within their block by ``(incoming labels, argument
+  value numbers)``: two identical phis merge (Class 4 never reaches the
+  coalescer);
+* ``make`` folds to a constant key, giving constant re-use;
+* instructions with side effects, loads (no memory SSA here), calls
+  and pinned definitions are never touched.
+
+Run on valid SSA only; the result is valid SSA.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.dominance import DominatorTree
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Operand
+from ..ir.types import Imm, Value, Var
+
+#: Opcodes that are safe to value-number (pure, no memory, no control).
+_PURE = {
+    "make", "copy", "add", "sub", "mul", "div", "rem", "and", "or",
+    "xor", "shl", "shr", "min", "max", "neg", "not", "cmpeq", "cmpne",
+    "cmplt", "cmple", "cmpgt", "cmpge", "select", "autoadd", "more",
+    "mac",
+}
+
+_COMMUTATIVE = {"add", "mul", "and", "or", "xor", "min", "max",
+                "cmpeq", "cmpne"}
+
+_Key = tuple
+
+
+class _Scope:
+    """A scoped hash table following the dominator tree."""
+
+    def __init__(self) -> None:
+        self.frames: list[dict[_Key, Var]] = [{}]
+
+    def push(self) -> None:
+        self.frames.append({})
+
+    def pop(self) -> None:
+        self.frames.pop()
+
+    def get(self, key: _Key) -> Optional[Var]:
+        for frame in reversed(self.frames):
+            if key in frame:
+                return frame[key]
+        return None
+
+    def put(self, key: _Key, var: Var) -> None:
+        self.frames[-1][key] = var
+
+
+def value_number(function: Function) -> int:
+    """Run GVN on SSA *function* in place; returns instructions removed.
+
+    Tied opcodes (``autoadd`` & co.) are numbered but never *removed*
+    when their definition is pinned: the pin is a renaming constraint
+    the replacement would lose.
+    """
+    domtree = DominatorTree(function)
+    scope = _Scope()
+    replacement: dict[Var, Value] = {}
+    removed = 0
+
+    def resolve(value: Value) -> Value:
+        while isinstance(value, Var) and value in replacement:
+            value = replacement[value]
+        return value
+
+    def value_key(value: Value) -> object:
+        value = resolve(value)
+        if isinstance(value, Imm):
+            return ("imm", value.value)
+        return value
+
+    def rewrite_uses(instr: Instruction) -> None:
+        for i, op in enumerate(instr.uses):
+            target = resolve(op.value)
+            if target != op.value:
+                if isinstance(target, Imm) and op.pin is not None:
+                    continue
+                instr.uses[i] = Operand(target, op.pin, is_def=False)
+
+    # Iterative preorder walk with explicit scope management.
+    work: list[tuple[str, bool]] = [(function.entry, False)]
+    while work:
+        label, leaving = work.pop()
+        if leaving:
+            scope.pop()
+            continue
+        scope.push()
+        work.append((label, True))
+        for child in reversed(domtree.children[label]):
+            work.append((child, False))
+
+        block = function.blocks[label]
+        kept_phis = []
+        for phi in block.phis:
+            rewrite_uses(phi)
+            key = ("phi", label, tuple(phi.attrs["incoming"]),
+                   tuple(value_key(op.value) for op in phi.uses))
+            existing = scope.get(key)
+            dest = phi.defs[0]
+            if existing is not None and dest.pin is None \
+                    and isinstance(dest.value, Var):
+                replacement[dest.value] = existing
+                removed += 1
+            else:
+                if isinstance(dest.value, Var):
+                    scope.put(key, dest.value)
+                kept_phis.append(phi)
+        block.phis = kept_phis
+
+        new_body = []
+        for instr in block.body:
+            rewrite_uses(instr)
+            if instr.opcode not in _PURE or len(instr.defs) != 1:
+                new_body.append(instr)
+                continue
+            dest = instr.defs[0]
+            if not isinstance(dest.value, Var):
+                new_body.append(instr)
+                continue
+            if instr.opcode == "copy" and dest.pin is None \
+                    and instr.uses[0].pin is None:
+                # A copy gives its destination the source's value
+                # number (the instruction itself is left for the copy
+                # propagation / coalescing passes to clean up).
+                replacement[dest.value] = resolve(instr.uses[0].value)
+                new_body.append(instr)
+                continue
+            operand_keys = [value_key(op.value) for op in instr.uses]
+            if instr.opcode in _COMMUTATIVE:
+                operand_keys.sort(key=repr)
+            key = (instr.opcode, tuple(operand_keys),
+                   instr.attrs.get("offset"))
+            existing = scope.get(key)
+            if existing is not None and dest.pin is None:
+                replacement[dest.value] = existing
+                removed += 1
+                continue
+            scope.put(key, dest.value)
+            new_body.append(instr)
+        block.body = new_body
+
+    # A final pass: uses in blocks visited before their replacement was
+    # discovered cannot exist (dominance), but phi arguments read values
+    # from predecessors that may appear later in the preorder.
+    for block in function.iter_blocks():
+        for instr in block.instructions():
+            rewrite_uses(instr)
+    return removed

@@ -1,0 +1,151 @@
+"""Pinning data model and the correct-pinning rules of paper Figure 4.
+
+A pinning is *correct* when no two different values are forced into one
+resource at one program point.  Figure 4 enumerates the cases:
+
+* Case 1 -- two definitions of one instruction pinned to one resource:
+  incorrect unless same variable.
+* Case 2 -- two uses of one instruction pinned to one resource:
+  incorrect unless same variable.
+* Case 3 -- two phi definitions in the same block pinned to one
+  resource: incorrect (parallel semantics).
+* Case 4 -- ``x^r = instr(y^r)``: correct (2-operand constraint).
+* Case 5 -- ``x^r = phi(.. y^s ..)`` with ``s != r``: incorrect -- phi
+  arguments are implicitly pinned to the phi result's resource.
+* Case 6 -- two phis in different blocks pinned to one resource with
+  different arguments flowing from a common predecessor (the Figure 2
+  stack-pointer situation): incorrect.
+
+The checker below reports all violations; the out-of-SSA translator
+refuses to run on an incorrectly pinned function, exactly as SSA
+optimizations "must be careful to maintain a semantically correct SSA
+code when dealing with dedicated-register constraints" (section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.defuse import DefUse
+from ..analysis.dominance import DominatorTree
+from ..analysis.liveness import Liveness
+from ..ir.function import Function
+from ..ir.instructions import Operand
+from ..ir.types import PhysReg, Resource, Var
+
+
+class PinningError(Exception):
+    """An incorrect pinning (paper Figure 4 / Figure 2)."""
+
+
+def resource_of(def_operand: Operand) -> Resource:
+    """The resource of a definition: its pin, or the variable itself.
+
+    Implements the paper's ``Resource_def``: "r if the definition of y is
+    pinned to r, or y otherwise".
+    """
+    if def_operand.pin is not None:
+        return def_operand.pin
+    value = def_operand.value
+    assert isinstance(value, (Var, PhysReg))
+    return value
+
+
+def variable_resources(function: Function) -> dict[Var, Resource]:
+    """Map every defined variable to its resource."""
+    result: dict[Var, Resource] = {}
+    for instr in function.instructions():
+        for op in instr.defs:
+            if isinstance(op.value, Var):
+                result[op.value] = resource_of(op)
+    return result
+
+
+def pin_definition(function: Function, var: Var,
+                   resource: Resource) -> bool:
+    """Pin the (unique) definition of *var* to *resource*, in place.
+
+    Returns False when the variable has no definition in *function*.
+    """
+    for instr in function.instructions():
+        for op in instr.defs:
+            if op.value == var:
+                op.pin = resource
+                return True
+    return False
+
+
+def check_function_pinning(function: Function,
+                           defuse: Optional[DefUse] = None,
+                           domtree: Optional[DominatorTree] = None,
+                           liveness: Optional[Liveness] = None) -> list[str]:
+    """Return a list of violation descriptions (empty == correct).
+
+    The per-instruction cases (1, 2, 5) are purely local; cases 3 and 6
+    need the phi structure.  The optional analyses are accepted only to
+    share work with callers; they are recomputed when absent.
+    """
+    errors: list[str] = []
+    resources = variable_resources(function)
+
+    def res_of_var(var: Var) -> Resource:
+        return resources.get(var, var)
+
+    for block in function.iter_blocks():
+        # Case 3: phi defs of one block must target distinct resources.
+        seen: dict[Resource, Var] = {}
+        for phi in block.phis:
+            value = phi.defs[0].value
+            res = resource_of(phi.defs[0])
+            if res in seen and seen[res] != value:
+                errors.append(
+                    f"{block.label}: phi defs {seen[res]} and {value} share "
+                    f"resource {res} (Case 3)")
+            seen[res] = value
+            # Case 5: explicit argument pins must match the def resource.
+            for label, op in phi.phi_pairs():
+                if op.pin is not None and op.pin != res:
+                    errors.append(
+                        f"{block.label}: phi argument {op.value} pinned to "
+                        f"{op.pin} but phi result uses {res} (Case 5)")
+        for instr in block.body:
+            by_res: dict[Resource, Var] = {}
+            for op in instr.defs:
+                if op.pin is None or not isinstance(op.value, Var):
+                    continue
+                if op.pin in by_res and by_res[op.pin] != op.value:
+                    errors.append(
+                        f"{block.label}: defs {by_res[op.pin]} and "
+                        f"{op.value} of one instruction pinned to "
+                        f"{op.pin} (Case 1)")
+                by_res[op.pin] = op.value
+            use_res: dict[Resource, object] = {}
+            for op in instr.uses:
+                if op.pin is None:
+                    continue
+                if op.pin in use_res and use_res[op.pin] != op.value:
+                    errors.append(
+                        f"{block.label}: uses {use_res[op.pin]} and "
+                        f"{op.value} of one instruction pinned to "
+                        f"{op.pin} (Case 2)")
+                use_res[op.pin] = op.value
+
+    # Case 6 (generalized): phis pinned to one resource receiving
+    # different values from a common predecessor -- the parallel copy
+    # would write the resource twice (the Figure 2 SP example).
+    phi_writes: dict[tuple[str, Resource], tuple[Var, object]] = {}
+    for block in function.iter_blocks():
+        for phi in block.phis:
+            res = resource_of(phi.defs[0])
+            y = phi.defs[0].value
+            for pred, op in phi.phi_pairs():
+                key = (pred, res)
+                if key in phi_writes:
+                    other_y, other_src = phi_writes[key]
+                    if other_y != y and other_src != op.value:
+                        errors.append(
+                            f"edge from {pred}: phis {other_y} and {y} both "
+                            f"write {res} with different values (Case 6)")
+                else:
+                    phi_writes[key] = (y, op.value)
+    return errors

@@ -1,0 +1,128 @@
+"""psi-SSA support: predicated definitions merged by psi instructions.
+
+The paper's section 5: "Since the LAI language supports predicated
+instructions, the LAO tool uses a special form of SSA, named psi-SSA
+[13], which introduces psi instructions to represent predicated code
+under SSA.  In brief, psi instructions introduce constraints similar to
+2-operands constraints, and are handled in our algorithm in a special
+pass where they are converted into a 'psi-conventional' SSA form."
+
+A psi instruction ``x = psi(g1 ? a1, ..., gn ? an)`` selects the value
+of the *last* argument whose guard is true (textual order = original
+definition order).  For the out-of-SSA translation it behaves like a
+chain of 2-operand constraints: ideally every ``ai`` and ``x`` share one
+resource, so the psi disappears entirely (each predicated definition
+writes the shared resource directly and the later ones simply overwrite
+the earlier ones).
+
+:func:`make_psi_conventional` realizes that:
+
+* arguments whose definition can be pinned to the psi's resource
+  without interference are pinned (the free case);
+* interfering arguments are *split*: a fresh variable is defined by a
+  predicated copy (``select``-style) just before the psi, exactly like
+  Sreedhar et al. split phi operands.
+
+:func:`lower_psi` then replaces each psi-conventional psi by guarded
+selects (for arguments that could not be coalesced) or deletes it
+outright (all operands share the resource), producing plain IR that the
+standard out-of-SSA pipeline accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.interference import KillRules, SSAInterference
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Operand
+from ..ir.types import Var
+from .pinning import resource_of
+
+
+@dataclass
+class PsiStats:
+    psis: int = 0
+    coalesced_args: int = 0
+    split_args: int = 0
+
+
+def make_psi_conventional(function: Function) -> PsiStats:
+    """Pin psi operands to a common resource where interference-free.
+
+    Must run on SSA form, before the phi coalescer (the pins it places
+    participate in the later grouping exactly like 2-operand ties).
+    """
+    stats = PsiStats()
+    psis = [instr for block in function.iter_blocks()
+            for instr in block.body if instr.opcode == "psi"]
+    if not psis:
+        return stats
+    ssa = SSAInterference(function)
+    rules = KillRules(ssa)
+    def_ops: dict[Var, Operand] = {}
+    for instr in function.instructions():
+        for op in instr.defs:
+            if isinstance(op.value, Var):
+                def_ops[op.value] = op
+    for psi in psis:
+        stats.psis += 1
+        dest_op = psi.defs[0]
+        dest = dest_op.value
+        assert isinstance(dest, Var)
+        resource = resource_of(dest_op)
+        members = [dest]
+        for guard_op, value_op in psi.psi_pairs():
+            value = value_op.value
+            if not isinstance(value, Var):
+                stats.split_args += 1
+                continue
+            arg_def = def_ops.get(value)
+            conflict = any(
+                rules.variable_kills(value, m)
+                or rules.variable_kills(m, value)
+                or rules.strongly_interfere(m, value)
+                for m in members)
+            if arg_def is not None and arg_def.pin is None \
+                    and not conflict:
+                arg_def.pin = resource
+                members.append(value)
+                stats.coalesced_args += 1
+            else:
+                stats.split_args += 1
+    return stats
+
+
+def lower_psi(function: Function) -> int:
+    """Replace psi instructions by guarded selects, in place.
+
+    For psi-conventional operands (same resource as the destination) no
+    select is needed for the *first* argument -- the predicated
+    definitions already wrote the resource; later arguments still select
+    on their guard so the last-true-guard-wins semantics is preserved
+    under any interleaving.  Returns the number of selects emitted.
+    """
+    emitted = 0
+    for block in function.iter_blocks():
+        new_body: list[Instruction] = []
+        for instr in block.body:
+            if instr.opcode != "psi":
+                new_body.append(instr)
+                continue
+            dest_op = instr.defs[0]
+            pairs = instr.psi_pairs()
+            # current = a1, then fold: current = gi ? ai : current.
+            current = pairs[0][1].value
+            previous = current
+            for guard_op, value_op in pairs[1:]:
+                result = function.new_var(f"{dest_op.value}_psi")
+                new_body.append(Instruction(
+                    "select", [Operand(result, is_def=True)],
+                    [guard_op.copy(), value_op.copy(),
+                     Operand(previous)]))
+                emitted += 1
+                previous = result
+            new_body.append(Instruction(
+                "copy", [dest_op], [Operand(previous)]))
+        block.body = new_body
+    return emitted

@@ -1,0 +1,115 @@
+"""Constant folding and branch simplification on SSA.
+
+The last of the LAO-style SSA cleanups (the paper cites "optimizations
+based on range propagation"; constant folding is its degenerate,
+always-sound core): instructions whose operands are all immediates are
+evaluated at compile time through the *same* evaluation table the
+reference interpreter uses (one semantics, two consumers), conditional
+branches on constants become unconditional, and unreachable blocks
+disappear -- updating phis accordingly, which can in turn make them
+degenerate and foldable.
+
+The pass iterates to a local fixpoint.  It never touches pinned
+definitions (a pin is a renaming constraint; folding the instruction
+away would lose it).
+"""
+
+from __future__ import annotations
+
+from ..ir.cfg import remove_unreachable_blocks
+from ..ir.function import Function
+from ..ir.instructions import OPCODES, Instruction, Operand, make_branch
+from ..ir.types import Imm, Var
+
+#: Opcodes that may be folded when every use is an immediate.
+_FOLDABLE = {
+    "make", "copy", "add", "sub", "mul", "div", "rem", "and", "or",
+    "xor", "shl", "shr", "min", "max", "neg", "not", "cmpeq", "cmpne",
+    "cmplt", "cmple", "cmpgt", "cmpge", "select", "autoadd", "more",
+    "mac",
+}
+
+
+def fold_constants(function: Function, max_rounds: int = 10) -> int:
+    """Fold constant computations and branches; returns the number of
+    instructions eliminated (folded defs + dead branches + phis of
+    removed predecessors)."""
+    eliminated = 0
+    for _ in range(max_rounds):
+        changed = _fold_round(function)
+        eliminated += changed
+        if not changed:
+            break
+    return eliminated
+
+
+def _fold_round(function: Function) -> int:
+    constants: dict[Var, Imm] = {}
+    changed = 0
+
+    # 1. Evaluate foldable instructions with all-immediate operands.
+    for block in function.iter_blocks():
+        new_body = []
+        for instr in block.body:
+            if (instr.opcode in _FOLDABLE and len(instr.defs) == 1
+                    and isinstance(instr.defs[0].value, Var)
+                    and instr.defs[0].pin is None
+                    and instr.uses
+                    and all(isinstance(op.value, Imm) and op.pin is None
+                            for op in instr.uses)):
+                spec = OPCODES[instr.opcode]
+                if spec.evaluate is not None:
+                    args = [op.value.value for op in instr.uses]
+                    (result,) = spec.evaluate(*args)
+                    constants[instr.defs[0].value] = Imm(result)
+                    changed += 1
+                    continue
+            new_body.append(instr)
+        block.body = new_body
+
+    # 2. Propagate the discovered constants into uses.
+    if constants:
+        for block in function.iter_blocks():
+            for instr in block.instructions():
+                for i, op in enumerate(instr.uses):
+                    if isinstance(op.value, Var) and op.value in constants \
+                            and op.pin is None:
+                        instr.uses[i] = Operand(constants[op.value],
+                                                is_def=False)
+
+    # 3. Fold conditional branches on constants.
+    for block in function.iter_blocks():
+        term = block.terminator
+        if term is not None and term.opcode == "cbr" \
+                and isinstance(term.uses[0].value, Imm):
+            taken, fallthrough = term.attrs["targets"]
+            target = taken if term.uses[0].value.value else fallthrough
+            dead = fallthrough if target == taken else taken
+            block.body[-1] = make_branch(target)
+            changed += 1
+            # drop the phi operands flowing along the dead edge
+            dead_block = function.blocks.get(dead)
+            if dead_block is not None:
+                for phi in dead_block.phis:
+                    pairs = [(lbl, op) for lbl, op in phi.phi_pairs()
+                             if lbl != block.label]
+                    phi.attrs["incoming"] = [lbl for lbl, _ in pairs]
+                    phi.uses = [op for _, op in pairs]
+
+    if changed:
+        changed += len(remove_unreachable_blocks(function))
+        _fold_degenerate_phis(function)
+    return changed
+
+
+def _fold_degenerate_phis(function: Function) -> None:
+    """phis left with a single incoming value become copies."""
+    for block in function.iter_blocks():
+        kept = []
+        for phi in block.phis:
+            if len(phi.uses) == 1:
+                block.insert_at_entry(Instruction(
+                    "copy", [phi.defs[0]], [phi.uses[0]]))
+            else:
+                kept.append(phi)
+        block.phis = kept

@@ -1,0 +1,87 @@
+"""Shared test helpers: tiny programs and equivalence assertions."""
+
+from __future__ import annotations
+
+from repro.interp import run_module
+from repro.ir.function import Function, Module
+from repro.lai import parse_function, parse_module
+
+
+def module_of(source: str, name: str = "m") -> Module:
+    return parse_module(source, name=name)
+
+
+def function_of(source: str) -> Function:
+    return parse_function(source)
+
+
+def observable(module: Module, fn: str, args) -> tuple:
+    return run_module(module, fn, args).observable()
+
+
+def assert_equivalent(before: Module, after: Module, runs) -> None:
+    """Both modules must produce identical observable traces."""
+    for fn, args in runs:
+        expected = run_module(before, fn, list(args)).observable()
+        actual = run_module(after, fn, list(args)).observable()
+        assert actual == expected, (
+            f"{fn}{tuple(args)}: {expected} != {actual}")
+
+
+DIAMOND = """
+func diamond
+entry:
+    input a, b
+    cbr a, left, right
+left:
+    add x, b, 1
+    br join
+right:
+    mul y, b, 3
+    br join
+join:
+    r = phi(x:left, y:right)
+    ret r
+endfunc
+"""
+
+LOOP = """
+func loop
+entry:
+    input n
+    make i, 0
+    make s, 0
+    br head
+head:
+    cmplt c, i, n
+    cbr c, body, exit
+body:
+    add s, s, i
+    add i, i, 1
+    br head
+exit:
+    ret s
+endfunc
+"""
+
+SWAP_LOOP = """
+func swaploop
+entry:
+    input x0, y0, n
+    make i0, 0
+    br head
+head:
+    x = phi(x0:entry, y:latch)
+    y = phi(y0:entry, x:latch)
+    i1 = phi(i0:entry, i2:latch)
+    add i2, i1, 1
+    cmplt c, i2, n
+    cbr c, latch, exit
+latch:
+    br head
+exit:
+    shl t, x, 8
+    or r, t, y
+    ret r
+endfunc
+"""

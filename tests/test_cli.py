@@ -1,0 +1,100 @@
+"""Command-line interface tests (driving main() directly)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def lai_file(tmp_path):
+    path = tmp_path / "prog.lai"
+    path.write_text("""
+func main
+entry:
+    input n
+    make s, 0
+    make i, 0
+    br head
+head:
+    cmplt c, i, n
+    cbr c, body, exit
+body:
+    add s, s, i
+    autoadd i, i, 1
+    br head
+exit:
+    ret s
+endfunc
+""")
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_result(self, lai_file, capsys):
+        assert main(["run", lai_file, "main", "5"]) == 0
+        assert capsys.readouterr().out.strip() == "10"
+
+    def test_run_trace(self, lai_file, capsys):
+        assert main(["run", lai_file, "main", "3", "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "steps:" in err
+
+    def test_run_hex_args(self, lai_file, capsys):
+        assert main(["run", lai_file, "main", "0x3"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_runtime_error_reported(self, lai_file, capsys):
+        assert main(["run", lai_file, "main"]) == 1
+        assert "runtime error" in capsys.readouterr().err
+
+
+class TestCompile:
+    def test_compile_default(self, lai_file, capsys):
+        assert main(["compile", lai_file]) == 0
+        captured = capsys.readouterr()
+        assert "func main" in captured.out
+        assert "phi" not in captured.out
+        assert "moves=" in captured.err
+
+    def test_compile_to_file(self, lai_file, tmp_path, capsys):
+        out = str(tmp_path / "out.lai")
+        assert main(["compile", lai_file, "-o", out]) == 0
+        text = open(out).read()
+        assert "func main" in text
+        from repro.lai import parse_module
+
+        parse_module(text)  # output must re-parse
+
+    def test_compile_experiment_choice(self, lai_file, capsys):
+        assert main(["compile", lai_file, "-e", "C"]) == 0
+        assert "experiment=C" in capsys.readouterr().err
+
+    def test_compile_variant(self, lai_file, capsys):
+        assert main(["compile", lai_file, "--variant", "opt"]) == 0
+
+    def test_compile_with_verify(self, lai_file, capsys):
+        assert main(["compile", lai_file, "--verify", "main", "7"]) == 0
+
+    def test_show_ssa(self, lai_file, capsys):
+        assert main(["compile", lai_file, "--show-ssa"]) == 0
+        err = capsys.readouterr().err
+        assert "pinned SSA" in err
+        assert "phi" in err
+
+    def test_missing_file(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compile", "/nonexistent/x.lai"])
+
+    def test_syntax_error(self, tmp_path):
+        bad = tmp_path / "bad.lai"
+        bad.write_text("func f\n    frobnicate x\nendfunc\n")
+        with pytest.raises(SystemExit):
+            main(["compile", str(bad)])
+
+
+class TestExperiments:
+    def test_experiment_table(self, lai_file, capsys):
+        assert main(["experiments", lai_file]) == 0
+        out = capsys.readouterr().out
+        assert "Lphi,ABI+C" in out
+        assert "naiveABI+C" in out

@@ -1,0 +1,75 @@
+"""Cycle-cost metric tests."""
+
+from repro.metrics import CYCLE_COSTS, static_cycles
+from repro.pipeline import run_experiment
+
+from helpers import function_of, module_of
+
+
+class TestStaticCycles:
+    def test_straight_line(self):
+        f = function_of("""
+func f
+entry:
+    input a
+    add x, a, 1
+    mul y, x, x
+    ret y
+endfunc
+""")
+        expected = (CYCLE_COSTS["input"] + CYCLE_COSTS["add"]
+                    + CYCLE_COSTS["mul"] + CYCLE_COSTS["ret"])
+        assert static_cycles(f) == expected
+
+    def test_loop_weighting(self):
+        f = function_of("""
+func f
+entry:
+    input n
+    make i, 0
+    br head
+head:
+    cmplt c, i, n
+    cbr c, body, exit
+body:
+    add i, i, 1
+    br head
+exit:
+    ret i
+endfunc
+""")
+        entry = 0 + 1 + 1          # input + make + br
+        head = (1 + 1) * 5         # cmplt + cbr at depth 1
+        body = (1 + 1) * 5         # add + br at depth 1
+        exit_cost = 1              # ret
+        assert static_cycles(f) == entry + head + body + exit_cost
+
+    def test_every_opcode_has_a_cost(self):
+        from repro.ir.instructions import OPCODES
+
+        for name in OPCODES:
+            assert name in CYCLE_COSTS, name
+
+    def test_fewer_moves_means_fewer_cycles(self):
+        src = """
+func main
+entry:
+    input n
+    make s, 0
+    make i, 0
+    br head
+head:
+    cmplt c, i, n
+    cbr c, body, exit
+body:
+    add s, s, i
+    autoadd i, i, 1
+    br head
+exit:
+    ret s
+endfunc
+"""
+        module = module_of(src)
+        ours = run_experiment(module, "Lphi,ABI")
+        naive = run_experiment(module, "LABI")
+        assert static_cycles(ours.module) <= static_cycles(naive.module)

@@ -1,0 +1,129 @@
+"""Dominator tree, dominance frontiers, loop forest."""
+
+from repro.analysis import DominatorTree, LoopForest
+from repro.lai import parse_function
+
+from helpers import DIAMOND, LOOP, function_of
+
+NESTED = """
+func nested
+entry:
+    input n
+    make i, 0
+    br ohead
+ohead:
+    cmplt c1, i, n
+    cbr c1, obody, oexit
+obody:
+    make j, 0
+    br ihead
+ihead:
+    cmplt c2, j, n
+    cbr c2, ibody, iexit
+ibody:
+    add j, j, 1
+    br ihead
+iexit:
+    add i, i, 1
+    br ohead
+oexit:
+    ret i
+endfunc
+"""
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        tree = DominatorTree(function_of(DIAMOND))
+        assert tree.idom["entry"] is None
+        assert tree.idom["left"] == "entry"
+        assert tree.idom["right"] == "entry"
+        assert tree.idom["join"] == "entry"
+
+    def test_dominates_reflexive_and_transitive(self):
+        tree = DominatorTree(function_of(NESTED))
+        assert tree.dominates("entry", "entry")
+        assert tree.dominates("entry", "ibody")
+        assert tree.dominates("ohead", "iexit")
+        assert not tree.dominates("obody", "oexit")
+        assert tree.strictly_dominates("entry", "ohead")
+        assert not tree.strictly_dominates("entry", "entry")
+
+    def test_depths_increase(self):
+        tree = DominatorTree(function_of(NESTED))
+        assert tree.depth("entry") == 0
+        assert tree.depth("ohead") == 1
+        assert tree.depth("ibody") > tree.depth("ihead") - 1
+
+    def test_preorder_parents_first(self):
+        tree = DominatorTree(function_of(NESTED))
+        order = list(tree.preorder())
+        assert order[0] == "entry"
+        for label in order:
+            parent = tree.idom[label]
+            if parent is not None:
+                assert order.index(parent) < order.index(label)
+
+    def test_frontier_diamond(self):
+        tree = DominatorTree(function_of(DIAMOND))
+        df = tree.dominance_frontier()
+        assert df["left"] == {"join"}
+        assert df["right"] == {"join"}
+        assert df["join"] == set()
+
+    def test_frontier_loop_header(self):
+        tree = DominatorTree(function_of(LOOP))
+        df = tree.dominance_frontier()
+        assert "head" in df["body"]
+        assert "head" in df["head"]  # header is in its own frontier
+
+    def test_iterated_frontier(self):
+        tree = DominatorTree(function_of(DIAMOND))
+        assert tree.iterated_frontier({"left"}) == {"join"}
+        assert tree.iterated_frontier({"entry"}) == set()
+
+
+class TestLoops:
+    def test_simple_loop(self):
+        forest = LoopForest(function_of(LOOP))
+        assert len(forest.loops) == 1
+        loop = forest.loops["head"]
+        assert loop.blocks == {"head", "body"}
+        assert forest.depth("head") == 1
+        assert forest.depth("body") == 1
+        assert forest.depth("entry") == 0
+        assert forest.depth("exit") == 0
+
+    def test_nested_depths(self):
+        forest = LoopForest(function_of(NESTED))
+        assert forest.depth("ohead") == 1
+        assert forest.depth("ihead") == 2
+        assert forest.depth("ibody") == 2
+        assert forest.depth("iexit") == 1
+        assert forest.max_depth() == 2
+
+    def test_nesting_parents(self):
+        forest = LoopForest(function_of(NESTED))
+        inner = forest.loops["ihead"]
+        outer = forest.loops["ohead"]
+        assert inner.parent is outer
+        assert inner in outer.children
+
+    def test_inner_to_outer_order(self):
+        forest = LoopForest(function_of(NESTED))
+        order = forest.blocks_inner_to_outer()
+        assert order.index("ihead") < order.index("ohead")
+        assert order.index("ibody") < order.index("obody")
+        # depth-0 blocks come last
+        assert order.index("entry") > order.index("ohead")
+
+    def test_no_loops(self):
+        forest = LoopForest(function_of(DIAMOND))
+        assert forest.loops == {}
+        assert forest.max_depth() == 0
+
+    def test_innermost_loop_query(self):
+        forest = LoopForest(function_of(NESTED))
+        assert forest.innermost_loop("ibody").header == "ihead"
+        assert forest.innermost_loop("obody").header == "ohead"
+        assert forest.innermost_loop("entry") is None

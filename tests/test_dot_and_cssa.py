@@ -1,0 +1,98 @@
+"""DOT exporters and the conventional-SSA checker."""
+
+import pytest
+
+from repro.ir.dot import (affinity_to_dot, cfg_to_dot, domtree_to_dot,
+                          interference_to_dot)
+from repro.outofssa import out_of_pinned_ssa, sreedhar_to_cssa
+from repro.outofssa.cssa_check import (check_conventional,
+                                       phi_congruence_classes)
+from repro.pipeline import ensure_ssa
+
+from helpers import DIAMOND, SWAP_LOOP, function_of, module_of
+
+
+class TestDot:
+    def test_cfg_dot_structure(self):
+        f = function_of(DIAMOND)
+        dot = cfg_to_dot(f)
+        assert dot.startswith("digraph")
+        assert '"entry" -> "left"' in dot
+        assert '"left" -> "join"' in dot
+        assert "phi" in dot  # instructions included
+
+    def test_cfg_dot_without_code(self):
+        f = function_of(DIAMOND)
+        dot = cfg_to_dot(f, include_code=False)
+        assert "phi" not in dot
+
+    def test_domtree_dot(self):
+        f = function_of(DIAMOND)
+        dot = domtree_to_dot(f)
+        assert '"entry" -> "join"' in dot
+        assert '"left" -> "join"' not in dot
+
+    def test_interference_dot(self):
+        f = function_of("""
+func f
+entry:
+    input a
+    add x, a, 1
+    add y, a, 2
+    copy z, x
+    add r, z, y
+    ret r
+endfunc
+""")
+        dot = interference_to_dot(f)
+        assert dot.startswith("graph")
+        assert '"x" -- "y"' in dot or '"y" -- "x"' in dot
+        assert "dashed" in dot  # the move edge
+
+    def test_affinity_dot(self):
+        m = module_of(SWAP_LOOP)
+        f = m.function("swaploop")
+        ensure_ssa(f)
+        dot = affinity_to_dot(f, "head")
+        assert dot.startswith("graph")
+        assert "--" in dot
+        assert "dotted" in dot  # x and y interfere (swap)
+
+
+class TestCssaCheck:
+    def test_swap_is_not_conventional(self):
+        m = module_of(SWAP_LOOP)
+        f = m.function("swaploop")
+        ensure_ssa(f)
+        assert check_conventional(f)
+
+    def test_sreedhar_establishes_cssa(self):
+        m = module_of(SWAP_LOOP)
+        f = m.function("swaploop")
+        ensure_ssa(f)
+        sreedhar_to_cssa(f, pin_classes=False)
+        assert check_conventional(f) == []
+
+    def test_sreedhar_on_kernels_establishes_cssa(self):
+        from repro.benchgen.kernels import KERNELS
+        from repro.lai import parse_module
+        from repro.ssa import optimize_ssa
+
+        for name, src, _ in KERNELS[:8]:
+            module = parse_module(src, name=name)
+            for f in module.iter_functions():
+                ensure_ssa(f)
+                optimize_ssa(f)
+                sreedhar_to_cssa(f, pin_classes=False)
+                assert check_conventional(f) == [], (name, f.name)
+
+    def test_congruence_classes(self):
+        f = function_of(DIAMOND)
+        classes = phi_congruence_classes(f)
+        assert len(classes) == 1
+        names = {v.name for v in classes[0]}
+        assert names == {"r", "x", "y"}
+
+    def test_interference_free_diamond_is_conventional(self):
+        f = function_of(DIAMOND)
+        assert check_conventional(f) == []

@@ -1,0 +1,137 @@
+"""Failure injection: the safety nets must catch deliberately broken
+transformations.
+
+The whole reproduction leans on three guards — the IR verifier, the
+pinning-legality checker and the differential interpreter runs.  These
+tests sabotage a pass in a controlled way and assert the corresponding
+guard fires; if one of these tests ever passes silently, the guard has
+rotted and every other green test means less.
+"""
+
+import pytest
+
+from repro.interp import run_module
+from repro.ir import ValidationError, validate_function
+from repro.lai import parse_module
+from repro.pipeline import run_experiment
+
+from helpers import SWAP_LOOP, module_of
+
+
+class TestInterpreterCatchesMiscompiles:
+    def test_sequentializer_without_temps_is_caught(self, monkeypatch):
+        """Breaking the swap handling (naive left-to-right copy order)
+        must flip a value and fail the differential check."""
+        import repro.outofssa.parallel_copy as pc
+
+        def naive(pairs, fresh_temp):
+            return [(d, s) for d, s in pairs if d != s]
+
+        monkeypatch.setattr(pc, "sequentialize_pairs", naive)
+        module = module_of(SWAP_LOOP)
+        # force the swap phis into shared resources so the edge copy is
+        # a genuine parallel swap
+        with pytest.raises(AssertionError, match="changed behaviour"):
+            run_experiment(module, "Lphi,ABI+C",
+                           verify=[("swaploop", [1, 2, 3])])
+
+    def test_dropping_repairs_is_caught(self, monkeypatch):
+        """Disabling the kill analysis makes a killed value read its
+        clobbered register; the verify runs must notice."""
+        import repro.outofssa.leung_george as lg
+
+        monkeypatch.setattr(lg._Translator, "_compute_kills",
+                            lambda self: None)
+        src = """
+func main
+entry:
+    input a
+    call x = f(a)
+    call y = f(x)
+    add r, x, y
+    ret r
+endfunc
+func f
+entry:
+    input v
+    add w, v, 1
+    ret w
+endfunc
+"""
+        module = module_of(src)
+        with pytest.raises(Exception):
+            run_experiment(module, "Lphi,ABI+C",
+                           verify=[("main", [5])])
+
+    def test_wrong_phi_argument_is_caught(self):
+        """Swapping a phi's arguments changes the program: the verify
+        harness must fail (sanity check of the harness itself)."""
+        module = module_of("""
+func main
+entry:
+    input p, a
+    add x1, a, 1
+    add x2, a, 2
+    cbr p, l, r
+l:
+    br j
+r:
+    br j
+j:
+    x = phi(x1:l, x2:r)
+    ret x
+endfunc
+""")
+        broken = module.copy()
+        phi = broken.function("main").blocks["j"].phis[0]
+        phi.attrs["incoming"] = ["r", "l"]
+        good = run_module(module, "main", [1, 10]).observable()
+        bad = run_module(broken, "main", [1, 10]).observable()
+        assert good != bad
+
+
+class TestValidatorCatchesStructuralBreakage:
+    def test_leftover_phi_detected(self, monkeypatch):
+        """If reconstruction forgets to clear phis the validator balks."""
+        import repro.outofssa.leung_george as lg
+
+        original = lg._Translator._rewrite
+
+        def keep_phis(self):
+            saved = {b.label: list(b.phis)
+                     for b in self.function.iter_blocks()}
+            original(self)
+            for block in self.function.iter_blocks():
+                block.phis = saved[block.label]
+
+        monkeypatch.setattr(lg._Translator, "_rewrite", keep_phis)
+        module = module_of(SWAP_LOOP)
+        with pytest.raises(ValidationError):
+            run_experiment(module, "LABI+C")
+
+    def test_unsequentialized_pcopy_detected(self, monkeypatch):
+        import repro.outofssa.leung_george as lg
+
+        monkeypatch.setattr(lg, "sequentialize_function", lambda f: 0)
+        module = module_of(SWAP_LOOP)
+        with pytest.raises(ValidationError):
+            run_experiment(module, "LABI+C")
+
+
+class TestLegalityGuardsPipeline:
+    def test_coalescer_output_rechecked(self, monkeypatch):
+        """If the coalescer ignored strong interference (two same-block
+        phis merged) the reconstruction's pinning check refuses."""
+        from repro.ir.types import Var
+        from repro.pipeline import ensure_ssa
+        from repro.outofssa import out_of_pinned_ssa
+        from repro.ssa import PinningError, pin_definition
+
+        module = module_of(SWAP_LOOP)
+        f = module.function("swaploop")
+        ensure_ssa(f)
+        shared = Var("evil")
+        pin_definition(f, Var("x"), shared)
+        pin_definition(f, Var("y"), shared)
+        with pytest.raises(PinningError):
+            out_of_pinned_ssa(f)

@@ -1,0 +1,86 @@
+"""Target parametricity: the whole pipeline on the GP32 target."""
+
+import pytest
+
+from repro.benchgen.kernels import KERNELS
+from repro.lai import parse_module
+from repro.machine.gp32 import GP32, make_gp32
+from repro.machine.st120 import ST120
+from repro.pipeline import run_experiment
+
+from helpers import module_of
+
+
+class TestDescription:
+    def test_register_file(self):
+        t = make_gp32()
+        assert t.reg("R31").name == "R31"
+        assert t.stack_pointer.name == "SP"
+
+    def test_no_tied_constraints(self):
+        from repro.ir.instructions import Instruction, Operand
+        from repro.ir.types import Var
+
+        auto = Instruction("autoadd",
+                           [Operand(Var("d"), is_def=True)],
+                           [Operand(Var("a")), Operand(Var("b"))])
+        assert GP32.tied_pairs(auto) == []
+        assert ST120.tied_pairs(auto) == [(0, 0)]
+
+    def test_six_argument_registers(self):
+        from repro.ir.types import RegClass
+
+        regs = GP32.abi.assign([RegClass.GPR] * 6)
+        assert [r.name for r in regs] == [f"R{i}" for i in range(6)]
+
+
+class TestPipelineOnGp32:
+    @pytest.mark.parametrize("name,src,runs", KERNELS[:6],
+                             ids=[k[0] for k in KERNELS[:6]])
+    def test_kernels_compile_on_gp32(self, name, src, runs):
+        module = parse_module(src, name=name)
+        verify = [(name, list(args)) for args in runs]
+        result = run_experiment(module, "Lphi,ABI+C", target=GP32,
+                                verify=verify)
+        assert result.moves >= 0
+
+    def test_move_counts_differ_across_targets(self):
+        """The tied constraints are real: a mac/autoadd-heavy kernel
+        pins differently on ST120 than on GP32."""
+        name, src, runs = next(k for k in KERNELS if k[0] == "dot")
+        module = parse_module(src, name=name)
+        verify = [(name, list(args)) for args in runs]
+        st = run_experiment(module, "Lphi,ABI", target=ST120,
+                            verify=verify)
+        gp = run_experiment(module, "Lphi,ABI", target=GP32,
+                            verify=verify)
+        st_pins = sum(st.phase_stats["pinningABI"].values())
+        gp_pins = sum(gp.phase_stats["pinningABI"].values())
+        assert st_pins > gp_pins  # the tie pins only exist on ST120
+
+    def test_wide_call_fits_gp32_only(self):
+        src = """
+func main
+entry:
+    input a, b, c, d, e
+    call r = wide(a, b, c, d, e)
+    ret r
+endfunc
+func wide
+entry:
+    input v0, v1, v2, v3, v4
+    add t0, v0, v1
+    add t1, t0, v2
+    add t2, t1, v3
+    add t3, t2, v4
+    ret t3
+endfunc
+"""
+        module = module_of(src)
+        verify = [("main", [1, 2, 3, 4, 5])]
+        result = run_experiment(module, "Lphi,ABI+C", target=GP32,
+                                verify=verify)
+        assert result.moves >= 0
+        with pytest.raises(ValueError, match="pool exhausted"):
+            run_experiment(module, "Lphi,ABI+C", target=ST120,
+                           verify=verify)

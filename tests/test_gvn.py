@@ -1,0 +1,270 @@
+"""Global value numbering tests."""
+
+from repro.interp import run_function
+from repro.ir import validate_function
+from repro.ir.types import Var
+from repro.lai import parse_function
+from repro.ssa import eliminate_dead_code
+from repro.ssa.gvn import value_number
+
+from helpers import function_of
+
+
+def gvn(src):
+    f = function_of(src)
+    removed = value_number(f)
+    validate_function(f, ssa=True)
+    return f, removed
+
+
+class TestRedundancy:
+    def test_identical_expressions_merged(self):
+        f, removed = gvn("""
+func f
+entry:
+    input a, b
+    add x, a, b
+    add y, a, b
+    add r, x, y
+    ret r
+endfunc
+""")
+        assert removed == 1
+        add = [i for i in f.instructions() if i.opcode == "add"]
+        assert len(add) == 2
+        r = next(i for i in f.instructions()
+                 if i.defs and i.defs[0].value == Var("r"))
+        assert r.uses[0].value == r.uses[1].value
+
+    def test_commutative_matching(self):
+        f, removed = gvn("""
+func f
+entry:
+    input a, b
+    add x, a, b
+    add y, b, a
+    add r, x, y
+    ret r
+endfunc
+""")
+        assert removed == 1
+
+    def test_non_commutative_not_matched(self):
+        f, removed = gvn("""
+func f
+entry:
+    input a, b
+    sub x, a, b
+    sub y, b, a
+    add r, x, y
+    ret r
+endfunc
+""")
+        assert removed == 0
+
+    def test_constants_shared(self):
+        f, removed = gvn("""
+func f
+entry:
+    make a, 42
+    make b, 42
+    add r, a, b
+    ret r
+endfunc
+""")
+        assert removed == 1
+
+    def test_transitive_through_copies(self):
+        f, removed = gvn("""
+func f
+entry:
+    input a
+    copy b, a
+    add x, b, 1
+    add y, a, 1
+    add r, x, y
+    ret r
+endfunc
+""")
+        # copy b=a gives b the value number of a; x and y merge
+        assert removed >= 1
+
+    def test_semantics_preserved(self):
+        src = """
+func f
+entry:
+    input a, b
+    add x, a, b
+    mul y, x, x
+    add z, a, b
+    mul w, z, z
+    sub r, y, w
+    ret r
+endfunc
+"""
+        f = function_of(src)
+        before = run_function(f.copy(), [3, 4]).observable()
+        value_number(f)
+        eliminate_dead_code(f)
+        assert run_function(f, [3, 4]).observable() == before
+
+
+class TestScoping:
+    def test_no_merging_across_siblings(self):
+        """Expressions in sibling branches must not share numbers."""
+        f, removed = gvn("""
+func f
+entry:
+    input a, b
+    cbr a, l, r
+l:
+    add x, b, 1
+    store 4, x
+    br j
+r:
+    add y, b, 1
+    store 8, y
+    br j
+j:
+    ret b
+endfunc
+""")
+        assert removed == 0
+
+    def test_dominating_expression_reused_below(self):
+        f, removed = gvn("""
+func f
+entry:
+    input a, b
+    add x, b, 7
+    cbr a, l, r
+l:
+    add y, b, 7
+    store 4, y
+    br j
+r:
+    br j
+j:
+    ret x
+endfunc
+""")
+        assert removed == 1
+
+
+class TestPhis:
+    def test_identical_phis_merged(self):
+        """The paper's Class 4 shape: y = phi(a,b); z = phi(a,b) in one
+        block -- 'value numbering should have eliminated this case'."""
+        f, removed = gvn("""
+func f
+entry:
+    input p, a, b
+    cbr p, l, r
+l:
+    br j
+r:
+    br j
+j:
+    y = phi(a:l, b:r)
+    z = phi(a:l, b:r)
+    add s, y, z
+    ret s
+endfunc
+""")
+        assert removed == 1
+        assert len(f.blocks["j"].phis) == 1
+        add = next(i for i in f.instructions() if i.opcode == "add")
+        assert add.uses[0].value == add.uses[1].value
+
+    def test_different_phis_kept(self):
+        f, removed = gvn("""
+func f
+entry:
+    input p, a, b
+    cbr p, l, r
+l:
+    br j
+r:
+    br j
+j:
+    y = phi(a:l, b:r)
+    z = phi(b:l, a:r)
+    add s, y, z
+    ret s
+endfunc
+""")
+        assert removed == 0
+        assert len(f.blocks["j"].phis) == 2
+
+    def test_loop_carried_phi_args_resolved(self):
+        src = """
+func f
+entry:
+    input n
+    make i0, 0
+    br head
+head:
+    i = phi(i0:entry, i2:body)
+    cmplt c, i, n
+    cbr c, body, exit
+body:
+    add i2, i, 1
+    add dup, i, 1
+    store 4, dup
+    br head
+exit:
+    ret i
+endfunc
+"""
+        f = function_of(src)
+        before = [run_function(f.copy(), [k]).observable() for k in (0, 3)]
+        removed = value_number(f)
+        assert removed == 1  # dup == i2
+        validate_function(f, ssa=True)
+        for k, expected in zip((0, 3), before):
+            assert run_function(f.copy(), [k]).observable() == expected
+
+
+class TestGuards:
+    def test_pinned_defs_never_removed(self):
+        f, removed = gvn("""
+func f
+entry:
+    input a, b
+    add x^R5, a, b
+    add y^R6, a, b
+    add r, x, y
+    ret r
+endfunc
+""")
+        assert removed == 0
+
+    def test_loads_never_merged(self):
+        f, removed = gvn("""
+func f
+entry:
+    input p
+    store p, 1
+    load x, p
+    store p, 2
+    load y, p
+    add r, x, y
+    ret r
+endfunc
+""")
+        assert removed == 0
+        assert run_function(f, [100]).results == (3,)
+
+    def test_calls_untouched(self):
+        src = """
+func f
+entry:
+    input a
+    call x = g(a)
+    call y = g(a)
+    add r, x, y
+    ret r
+endfunc
+"""
+        f = function_of(src)
+        assert value_number(f) == 0

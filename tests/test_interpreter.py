@@ -1,0 +1,253 @@
+"""Reference interpreter tests: semantics of every opcode family."""
+
+import pytest
+
+from repro.interp import InterpreterError, run_function, run_module
+from repro.lai import parse_function, parse_module
+
+from helpers import DIAMOND, LOOP, SWAP_LOOP, module_of
+
+
+def run_src(src, fn, args, **kw):
+    return run_module(parse_module(src), fn, args, **kw)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 2, 3, 5),
+        ("sub", 2, 3, -1),
+        ("mul", -4, 3, -12),
+        ("div", 7, 2, 3),
+        ("div", -7, 2, -3),       # truncating, like the DSP
+        ("div", 7, 0, 0),          # division by zero yields 0
+        ("rem", 7, 2, 1),
+        ("rem", -7, 2, -1),
+        ("and", 6, 3, 2),
+        ("or", 6, 3, 7),
+        ("xor", 6, 3, 5),
+        ("shl", 1, 4, 16),
+        ("shr", 16, 2, 4),
+        ("min", 3, -2, -2),
+        ("max", 3, -2, 3),
+        ("cmplt", 1, 2, 1),
+        ("cmpge", 1, 2, 0),
+        ("cmpeq", 5, 5, 1),
+        ("cmpne", 5, 5, 0),
+    ])
+    def test_binop(self, op, a, b, expected):
+        src = f"func f\nentry:\n    input a, b\n    {op} r, a, b\n    ret r\nendfunc"
+        assert run_src(src, "f", [a, b]).results == (expected,)
+
+    def test_wraparound(self):
+        src = "func f\nentry:\n    input a\n    add r, a, 1\n    ret r\nendfunc"
+        assert run_src(src, "f", [2**31 - 1]).results == (-(2**31),)
+
+    def test_more_combines_halves(self):
+        src = """
+func f
+entry:
+    make hi, 0x00A1
+    more r, hi, 0x2BFA
+    ret r
+endfunc
+"""
+        assert run_src(src, "f", []).results == (0x00A12BFA,)
+
+    def test_mac(self):
+        src = "func f\nentry:\n    input a, b, c\n    mac r, a, b, c\n    ret r\nendfunc"
+        assert run_src(src, "f", [10, 3, 4]).results == (22,)
+
+    def test_select(self):
+        src = "func f\nentry:\n    input c, a, b\n    select r, c, a, b\n    ret r\nendfunc"
+        assert run_src(src, "f", [1, 10, 20]).results == (10,)
+        assert run_src(src, "f", [0, 10, 20]).results == (20,)
+
+    def test_readsp_constant(self):
+        src = "func f\nentry:\n    readsp $SP\n    copy r, $SP\n    ret r\nendfunc"
+        assert run_src(src, "f", []).results == (0x7FF00000,)
+
+
+class TestControlFlow:
+    def test_diamond_both_paths(self):
+        m = module_of(DIAMOND)
+        assert run_module(m, "diamond", [1, 10]).results == (11,)
+        assert run_module(m, "diamond", [0, 10]).results == (30,)
+
+    def test_loop_sum(self):
+        m = module_of(LOOP)
+        assert run_module(m, "loop", [5]).results == (10,)
+        assert run_module(m, "loop", [0]).results == (0,)
+
+    def test_phi_parallel_swap(self):
+        m = module_of(SWAP_LOOP)
+        # the trip n=k executes k-1 swaps
+        assert run_module(m, "swaploop", [1, 2, 1]).results[0] == (1 << 8) | 2
+        assert run_module(m, "swaploop", [1, 2, 2]).results[0] == (2 << 8) | 1
+        assert run_module(m, "swaploop", [1, 2, 3]).results[0] == (1 << 8) | 2
+
+    def test_fallthrough_is_error(self):
+        src = "func f\nentry:\n    input a\n    add r, a, 1\nendfunc"
+        with pytest.raises(InterpreterError, match="fell through"):
+            run_src(src, "f", [1])
+
+    def test_step_limit(self):
+        src = "func f\nentry:\n    br entry\nendfunc"
+        f = parse_function(src)
+        with pytest.raises(InterpreterError, match="step limit"):
+            run_function(f, [], max_steps=100)
+
+
+class TestMemoryAndCalls:
+    def test_store_load(self):
+        src = """
+func f
+entry:
+    input p, v
+    store p, v
+    store p, 7, #1
+    load a, p
+    load b, p, #1
+    add r, a, b
+    ret r
+endfunc
+"""
+        trace = run_src(src, "f", [100, 5])
+        assert trace.results == (12,)
+        assert trace.stores == [(100, 5), (101, 7)]
+
+    def test_uninitialized_load_fails(self):
+        src = "func f\nentry:\n    input p\n    load x, p\n    ret x\nendfunc"
+        with pytest.raises(InterpreterError, match="uninitialized"):
+            run_src(src, "f", [42])
+
+    def test_initial_memory(self):
+        src = "func f\nentry:\n    input p\n    load x, p\n    ret x\nendfunc"
+        assert run_src(src, "f", [5], memory={5: 99}).results == (99,)
+
+    def test_internal_call(self):
+        src = """
+func main
+entry:
+    input a
+    call d = double(a)
+    ret d
+endfunc
+func double
+entry:
+    input x
+    shl r, x, 1
+    ret r
+endfunc
+"""
+        trace = run_src(src, "main", [21])
+        assert trace.results == (42,)
+        assert trace.calls == [("double", (21,))]
+
+    def test_external_call(self):
+        f = parse_function(
+            "func f\nentry:\n    input a\n    call r = ext(a)\n    ret r\nendfunc")
+        trace = run_function(f, [5], externals={"ext": lambda v: v * 7})
+        assert trace.results == (35,)
+
+    def test_multi_result_call(self):
+        src = """
+func main
+entry:
+    input a
+    call q, r = divmod7(a)
+    sub d, q, r
+    ret d
+endfunc
+func divmod7
+entry:
+    input x
+    div q, x, 7
+    rem r, x, 7
+    ret q, r
+endfunc
+"""
+        assert run_src(src, "main", [23]).results == (3 - 2,)
+
+    def test_unknown_call(self):
+        f = parse_function(
+            "func f\nentry:\n    call r = nope()\n    ret r\nendfunc")
+        with pytest.raises(InterpreterError, match="unknown function"):
+            run_function(f, [])
+
+    def test_wrong_arity(self):
+        f = parse_function("func f\nentry:\n    input a, b\n    ret a\nendfunc")
+        with pytest.raises(InterpreterError, match="expected 2"):
+            run_function(f, [1])
+
+    def test_recursion_depth_guard(self):
+        src = """
+func f
+entry:
+    input a
+    call r = f(a)
+    ret r
+endfunc
+"""
+        with pytest.raises(InterpreterError, match="depth"):
+            run_src(src, "f", [1])
+
+
+class TestUndefinedReads:
+    def test_read_before_write_is_error(self):
+        src = """
+func f
+entry:
+    input a
+    cbr a, l, r
+l:
+    make x, 1
+    br j
+r:
+    br j
+j:
+    ret x
+endfunc
+"""
+        # x undefined on the r path
+        with pytest.raises(InterpreterError, match="undefined"):
+            run_src(src, "f", [0])
+        assert run_src(src, "f", [1]).results == (1,)
+
+
+class TestPcopyAndPsi:
+    def test_pcopy_swap(self):
+        src = """
+func f
+entry:
+    input a, b
+    pcopy a <- b, b <- a
+    shl t, a, 8
+    or r, t, b
+    ret r
+endfunc
+"""
+        assert run_src(src, "f", [1, 2]).results == ((2 << 8) | 1,)
+
+    def test_psi_last_true_wins(self):
+        src = """
+func f
+entry:
+    input g1, g2, a, b
+    x = psi(g1 ? a, g2 ? b)
+    ret x
+endfunc
+"""
+        assert run_src(src, "f", [1, 1, 10, 20]).results == (20,)
+        assert run_src(src, "f", [1, 0, 10, 20]).results == (10,)
+
+    def test_psi_no_guard_is_error(self):
+        src = """
+func f
+entry:
+    input g, a
+    x = psi(g ? a)
+    ret x
+endfunc
+"""
+        with pytest.raises(InterpreterError, match="psi"):
+            run_src(src, "f", [0, 1])

@@ -1,0 +1,168 @@
+"""Unit tests for the IR core: values, operands, instructions, blocks."""
+
+import pytest
+
+from repro.ir import (OPCODES, BasicBlock, Imm, Instruction, Operand,
+                      PhysReg, RegClass, Var, is_resource, make_branch,
+                      make_cond_branch, make_copy, make_pcopy, make_phi,
+                      wrap32)
+
+
+class TestValues:
+    def test_var_identity(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert hash(Var("x")) == hash(Var("x"))
+
+    def test_var_origin_does_not_affect_equality(self):
+        sp = PhysReg("SP", RegClass.SP)
+        assert Var("sp.1", RegClass.SP, sp) == Var("sp.1", RegClass.SP)
+
+    def test_physreg_str_has_dollar(self):
+        assert str(PhysReg("R0")) == "$R0"
+
+    def test_var_is_not_physical(self):
+        assert not Var("x").is_physical
+        assert PhysReg("R0").is_physical
+        assert not Imm(3).is_physical
+
+    def test_is_resource(self):
+        assert is_resource(Var("x"))
+        assert is_resource(PhysReg("R1"))
+        assert not is_resource(Imm(1))
+        assert not is_resource("x")
+
+    def test_imm_str_small_decimal_large_hex(self):
+        assert str(Imm(42)) == "42"
+        assert str(Imm(0x12345)) == hex(0x12345)
+
+    def test_wrap32_positive(self):
+        assert wrap32(5) == 5
+        assert wrap32(2**31 - 1) == 2**31 - 1
+
+    def test_wrap32_overflow(self):
+        assert wrap32(2**31) == -(2**31)
+        assert wrap32(2**32 + 7) == 7
+
+    def test_wrap32_negative(self):
+        assert wrap32(-1) == -1
+        assert wrap32(-(2**31) - 1) == 2**31 - 1
+
+
+class TestOperand:
+    def test_pin_on_immediate_rejected(self):
+        with pytest.raises(ValueError):
+            Operand(Imm(1), pin=PhysReg("R0"))
+
+    def test_str_with_pin(self):
+        op = Operand(Var("x"), pin=PhysReg("R0"))
+        assert str(op) == "x^$R0"
+
+    def test_copy_is_fresh_object(self):
+        op = Operand(Var("x"), pin=Var("r"), is_def=True)
+        clone = op.copy()
+        assert clone is not op
+        assert clone.value == op.value
+        assert clone.pin == op.pin
+        assert clone.is_def
+
+
+class TestInstruction:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("frobnicate")
+
+    def test_def_use_marking(self):
+        instr = Instruction("add", [Operand(Var("d"))],
+                            [Operand(Var("a")), Operand(Imm(1))])
+        assert instr.defs[0].is_def
+        assert not instr.uses[0].is_def
+
+    def test_is_copy_excludes_immediates(self):
+        assert make_copy(Var("a"), Var("b")).is_copy
+        assert not Instruction("copy", [Operand(Var("a"), is_def=True)],
+                               [Operand(Imm(5))]).is_copy
+
+    def test_phi_accessors(self):
+        phi = make_phi(Var("x"), [("a", Var("x1")), ("b", Var("x2"))])
+        assert phi.is_phi
+        assert phi.phi_arg_for("a").value == Var("x1")
+        assert phi.phi_arg_for("b").value == Var("x2")
+        with pytest.raises(KeyError):
+            phi.phi_arg_for("zzz")
+
+    def test_phi_set_arg(self):
+        phi = make_phi(Var("x"), [("a", Var("x1")), ("b", Var("x2"))])
+        phi.set_phi_arg("b", Var("y"))
+        assert phi.phi_arg_for("b").value == Var("y")
+
+    def test_pcopy_pairs(self):
+        pc = make_pcopy([(Var("a"), Var("b")), (Var("c"), Imm(3))])
+        pairs = pc.pcopy_pairs()
+        assert pairs[0][0].value == Var("a")
+        assert pairs[1][1].value == Imm(3)
+
+    def test_terminators(self):
+        assert make_branch("x").is_terminator
+        assert make_cond_branch(Var("c"), "a", "b").is_terminator
+        assert Instruction("ret").is_terminator
+        assert not make_copy(Var("a"), Var("b")).is_terminator
+
+    def test_copy_deep_copies_attrs(self):
+        br = make_cond_branch(Var("c"), "a", "b")
+        clone = br.copy()
+        clone.attrs["targets"][0] = "z"
+        assert br.attrs["targets"][0] == "a"
+
+    def test_uid_unique(self):
+        a = make_branch("x")
+        b = make_branch("x")
+        assert a.uid != b.uid
+
+    def test_tied_specs(self):
+        assert OPCODES["autoadd"].tied == ((0, 0),)
+        assert OPCODES["mac"].tied == ((0, 0),)
+        assert OPCODES["more"].tied == ((0, 0),)
+        assert OPCODES["add"].tied == ()
+
+
+class TestBasicBlock:
+    def test_append_routes_phis(self):
+        block = BasicBlock("b")
+        phi = make_phi(Var("x"), [("p", Var("y"))])
+        block.append(phi)
+        block.append(make_branch("b"))
+        assert block.phis == [phi]
+        assert len(block.body) == 1
+
+    def test_terminator_property(self):
+        block = BasicBlock("b")
+        assert block.terminator is None
+        block.append(make_copy(Var("a"), Var("b")))
+        assert block.terminator is None
+        block.append(make_branch("x"))
+        assert block.terminator is not None
+        assert block.successors() == ["x"]
+
+    def test_insert_before_terminator(self):
+        block = BasicBlock("b")
+        block.append(make_branch("x"))
+        copy = make_copy(Var("a"), Var("b"))
+        block.insert_before_terminator(copy)
+        assert block.body[0] is copy
+
+    def test_insert_at_entry_skips_input(self):
+        block = BasicBlock("entry")
+        inp = Instruction("input", defs=[Operand(Var("p"), is_def=True)])
+        block.append(inp)
+        block.append(make_branch("x"))
+        copy = make_copy(Var("a"), Var("b"))
+        block.insert_at_entry(copy)
+        assert block.body[0] is inp
+        assert block.body[1] is copy
+
+    def test_len_counts_phis_and_body(self):
+        block = BasicBlock("b")
+        block.append(make_phi(Var("x"), [("p", Var("y"))]))
+        block.append(make_branch("q"))
+        assert len(block) == 2

@@ -1,0 +1,148 @@
+"""Liveness analysis tests, including the SSA phi conventions the
+paper's interference classes rely on."""
+
+from repro.analysis import Liveness
+from repro.ir.types import Var
+from repro.lai import parse_function
+
+from helpers import DIAMOND, LOOP, function_of
+
+PHI_ARGS = """
+func f
+entry:
+    input a, b
+    cbr a, left, right
+left:
+    add x, b, 1
+    br join
+right:
+    add y, b, 2
+    br join
+join:
+    z = phi(x:left, y:right)
+    ret z
+endfunc
+"""
+
+
+def v(name):
+    return Var(name)
+
+
+class TestBasicSets:
+    def test_param_live_through_diamond(self):
+        live = Liveness(function_of(DIAMOND))
+        assert v("b") in live.live_in["left"]
+        assert v("b") in live.live_in["right"]
+        assert v("b") not in live.live_in["join"]
+
+    def test_loop_live_ranges(self):
+        live = Liveness(function_of(LOOP))
+        # i and s live around the loop
+        assert v("i") in live.live_out["body"]
+        assert v("s") in live.live_out["body"]
+        assert v("s") in live.live_in["exit"]
+        assert v("i") not in live.live_in["exit"]
+        assert v("n") in live.live_in["head"]
+
+    def test_dead_after_last_use(self):
+        live = Liveness(function_of(DIAMOND))
+        assert v("a") not in live.live_out["entry"] or True
+        # a is used only by the cbr of entry
+        assert v("a") not in live.live_in["left"]
+
+
+class TestPhiConventions:
+    def test_phi_use_live_out_of_pred_only(self):
+        """The phi argument is live out of its predecessor, dead at the
+        block entry (the paper's 'dead at the exit of block C and at the
+        entry of block B' refers to the post-copy point)."""
+        live = Liveness(function_of(PHI_ARGS))
+        assert v("x") in live.live_out["left"]
+        assert v("x") not in live.live_in["join"]
+        assert v("y") in live.live_out["right"]
+
+    def test_phi_def_in_live_in(self):
+        live = Liveness(function_of(PHI_ARGS))
+        assert v("z") in live.live_in["join"]
+
+    def test_phi_uses_on_edge(self):
+        live = Liveness(function_of(PHI_ARGS))
+        assert live.phi_uses_on_edge("left", "join") == {v("x")}
+        assert live.phi_uses_on_edge("right", "join") == {v("y")}
+
+    def test_edge_kill_set_excludes_consumed_args(self):
+        live = Liveness(function_of(PHI_ARGS))
+        kill = live.edge_kill_set("left", "join")
+        assert v("x") not in kill  # consumed by the copy
+        assert v("z") not in kill  # the value being written
+
+    def test_edge_kill_set_includes_live_through(self):
+        src = """
+func f
+entry:
+    input a, b
+    cbr a, left, right
+left:
+    add x, b, 1
+    br join
+right:
+    add y, b, 2
+    br join
+join:
+    z = phi(x:left, y:right)
+    add r, z, b
+    ret r
+endfunc
+"""
+        live = Liveness(function_of(src))
+        # b survives the edge copies (used in join's body): any write to
+        # its resource on the edge kills it.
+        assert v("b") in live.edge_kill_set("left", "join")
+
+    def test_lost_copy_shape_self_kill_set(self):
+        """On an *unsplit* CFG the old phi value flows out through the
+        other successor edge -- the self-kill of the lost-copy problem."""
+        src = """
+func f
+entry:
+    input n
+    make i0, 0
+    br head
+head:
+    i = phi(i0:entry, i2:head)
+    add i2, i, 1
+    cmplt c, i2, n
+    cbr c, head, exit
+exit:
+    ret i
+endfunc
+"""
+        live = Liveness(function_of(src))
+        # writing i's resource at the end of head (the back edge copy)
+        # clobbers the old i still needed by exit.
+        assert v("i") in live.edge_kill_set("head", "head")
+
+
+class TestPerPointQueries:
+    def test_live_after_positions(self):
+        f = function_of(LOOP)
+        live = Liveness(f)
+        body = f.blocks["body"]
+        # after "add s, s, i" (position 0): i still live (used next)
+        assert v("i") in live.live_after("body", 0)
+        # after "add i, i, 1" (position 1): s and i live-out
+        after = live.live_after("body", 1)
+        assert v("s") in after and v("i") in after
+
+    def test_live_after_phi_prefix(self):
+        f = function_of(PHI_ARGS)
+        live = Liveness(f)
+        at_entry = live.live_after("join", -1)
+        assert v("z") in at_entry
+
+    def test_is_live_after(self):
+        f = function_of(LOOP)
+        live = Liveness(f)
+        assert live.is_live_after(v("n"), "body", 1)
+        assert not live.is_live_after(v("c"), "body", 1)

@@ -1,0 +1,62 @@
+"""Cross-validation: two independent liveness implementations must
+agree on every SSA program we can generate."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Liveness
+from repro.analysis.liveness_by_var import liveness_by_var
+from repro.benchgen.kernels import KERNELS
+from repro.benchgen.synthetic import SyntheticConfig, generate_module
+from repro.lai import parse_module
+from repro.pipeline import ensure_ssa
+
+from helpers import function_of
+
+
+def assert_same_sets(function):
+    dataflow = Liveness(function)
+    by_var_in, by_var_out = liveness_by_var(function)
+    for label in function.blocks:
+        assert dataflow.live_in[label] == by_var_in[label], \
+            (function.name, label, "live_in",
+             dataflow.live_in[label] ^ by_var_in[label])
+        assert dataflow.live_out[label] == by_var_out[label], \
+            (function.name, label, "live_out",
+             dataflow.live_out[label] ^ by_var_out[label])
+
+
+@pytest.mark.parametrize("name,src,_runs", KERNELS,
+                         ids=[k[0] for k in KERNELS])
+def test_kernels_agree(name, src, _runs):
+    module = parse_module(src, name=name)
+    for function in module.iter_functions():
+        ensure_ssa(function)
+        assert_same_sets(function)
+
+
+def test_requires_ssa():
+    f = function_of("""
+func f
+entry:
+    input a
+    add x, a, 1
+    add x, a, 2
+    ret x
+endfunc
+""")
+    with pytest.raises(ValueError):
+        liveness_by_var(f)
+
+
+@given(seed=st.integers(0, 2**30))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_programs_agree(seed):
+    config = SyntheticConfig(n_slots=3, n_regions=4, max_depth=2)
+    module, _ = generate_module(seed, n_functions=2, config=config,
+                                name=f"live{seed}")
+    for function in module.iter_functions():
+        ensure_ssa(function)
+        assert_same_sets(function)

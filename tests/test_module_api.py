@@ -1,0 +1,189 @@
+"""Function/Module plumbing, printer coverage, API edge cases."""
+
+import pytest
+
+from repro.ir import (Function, Module, format_function, format_instruction,
+                      format_module, format_operand)
+from repro.ir.instructions import Instruction, Operand, make_branch
+from repro.ir.types import Imm, PhysReg, RegClass, Var
+from repro.lai import parse_module
+
+from helpers import function_of, module_of
+
+
+class TestFunctionApi:
+    def test_duplicate_block_rejected(self):
+        f = Function("f")
+        f.add_block("a")
+        with pytest.raises(ValueError):
+            f.add_block("a")
+
+    def test_entry_is_first_block(self):
+        f = Function("f")
+        f.add_block("first")
+        f.add_block("second")
+        assert f.entry == "first"
+        assert f.entry_block.label == "first"
+
+    def test_new_var_unique_and_classed(self):
+        f = Function("f")
+        a = f.new_var("t")
+        b = f.new_var("t")
+        assert a != b
+        p = f.new_var("p", RegClass.PTR)
+        assert p.regclass == RegClass.PTR
+
+    def test_new_label_avoids_collisions(self):
+        f = Function("f")
+        f.add_block("bb.L1")
+        label = f.new_label("bb")
+        assert label not in f.blocks
+
+    def test_params_and_returns(self):
+        f = function_of("""
+func f
+entry:
+    input a, b
+    ret a
+endfunc
+""")
+        assert [op.value.name for op in f.params()] == ["a", "b"]
+        assert len(f.return_instrs()) == 1
+
+    def test_variables_set(self):
+        f = function_of("""
+func f
+entry:
+    input a
+    add b, a, 1
+    ret b
+endfunc
+""")
+        assert {v.name for v in f.variables()} == {"a", "b"}
+
+    def test_copy_is_deep(self):
+        f = function_of("""
+func f
+entry:
+    input a
+    add b, a, 1
+    ret b
+endfunc
+""")
+        clone = f.copy()
+        clone.entry_block.body[1].defs[0] = Operand(Var("z"), is_def=True)
+        assert f.entry_block.body[1].defs[0].value == Var("b")
+
+    def test_copy_preserves_counters(self):
+        f = Function("f")
+        f.new_var("t")
+        clone = f.copy()
+        assert clone.new_var("t") != Var("t.N1")
+
+
+class TestModuleApi:
+    def test_duplicate_function_rejected(self):
+        m = Module()
+        m.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            m.add_function(Function("f"))
+
+    def test_externals_copied(self):
+        m = Module()
+        m.add_external("ext", lambda x: x)
+        clone = m.copy()
+        assert "ext" in clone.externals
+
+    def test_repr_smoke(self):
+        m = module_of("func f\n    ret\nendfunc")
+        assert "Module" in repr(m)
+        assert "Function" in repr(m.function("f"))
+        assert "BasicBlock" in repr(m.function("f").entry_block)
+
+
+class TestPrinterCoverage:
+    def test_call_without_results(self):
+        m = module_of("""
+func f
+entry:
+    input a
+    call g(a)
+    ret a
+endfunc
+""")
+        call = m.function("f").entry_block.body[1]
+        assert format_instruction(call) == "call g(a)"
+
+    def test_psi_format(self):
+        f = function_of("""
+func f
+entry:
+    input g1, a, b
+    x = psi(g1 ? a, g1 ? b)
+    ret x
+endfunc
+""")
+        psi = f.entry_block.body[1]
+        assert format_instruction(psi) == "x = psi(g1 ? a, g1 ? b)"
+
+    def test_pcopy_format(self):
+        f = function_of("""
+func f
+entry:
+    input a, b
+    pcopy a <- b, b <- a
+    ret a
+endfunc
+""")
+        pc = f.entry_block.body[1]
+        assert format_instruction(pc) == "pcopy a <- b, b <- a"
+
+    def test_operand_with_physical_pin(self):
+        op = Operand(Var("x"), pin=PhysReg("R2"))
+        assert format_operand(op) == "x^R2"
+
+    def test_operand_with_virtual_pin(self):
+        op = Operand(Var("x"), pin=Var("res"))
+        assert format_operand(op) == "x^res"
+
+    def test_bare_ret(self):
+        instr = Instruction("ret")
+        assert format_instruction(instr) == "ret"
+
+    def test_module_format_has_all_functions(self):
+        m = module_of("func a\n    ret\nendfunc\nfunc b\n    ret\nendfunc")
+        text = format_module(m)
+        assert "func a" in text and "func b" in text
+
+    def test_negative_offset_attrs_not_printed_as_zero(self):
+        f = function_of("""
+func f
+entry:
+    input p
+    store p, 1
+    load x, p
+    ret x
+endfunc
+""")
+        text = format_function(f)
+        assert "#" not in text  # zero offsets stay implicit
+
+
+class TestScale:
+    def test_large_synthetic_program_compiles_quickly(self):
+        """A deep, wide synthetic function must go through the full
+        pipeline in bounded time (guards against accidental quadratic
+        blowups in the analyses)."""
+        import time
+
+        from repro.benchgen.synthetic import SyntheticConfig, generate_module
+        from repro.pipeline import run_experiment
+
+        config = SyntheticConfig(n_slots=8, n_regions=18, max_depth=3)
+        module, _ = generate_module(9001, n_functions=2, config=config,
+                                    name="big")
+        start = time.time()
+        result = run_experiment(module, "Lphi,ABI+C")
+        elapsed = time.time() - start
+        assert result.instructions > 400
+        assert elapsed < 30, f"pipeline took {elapsed:.1f}s"

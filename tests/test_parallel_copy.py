@@ -1,0 +1,186 @@
+"""Parallel-copy sequentialization: unit + property-based tests.
+
+The sequentializer is the machinery that makes the swap problem
+disappear; an error here silently corrupts every out-of-SSA result, so
+it gets the heaviest property coverage: every permutation (plus
+duplicated sources and immediates) must behave exactly like a
+simultaneous assignment.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Function, Instruction, Operand, make_pcopy
+from repro.ir.types import Imm, Var
+from repro.outofssa import (expand_pcopy, sequentialize_function,
+                            sequentialize_pairs)
+
+
+def simulate_parallel(pairs, env):
+    values = {d: (env[s] if isinstance(s, Var) else s.value)
+              for d, s in pairs}
+    env = dict(env)
+    env.update(values)
+    return env
+
+
+def simulate_sequence(copies, env):
+    env = dict(env)
+    for dest, src in copies:
+        env[dest] = env[src] if isinstance(src, Var) else src.value
+    return env
+
+
+def fresh_factory():
+    counter = itertools.count()
+
+    def fresh(model):
+        return Var(f"tmp{next(counter)}")
+
+    return fresh
+
+
+def check(pairs):
+    env = {}
+    for _, src in pairs:
+        if isinstance(src, Var):
+            env.setdefault(src, hash(src.name) & 0xFFFF)
+    for dest, _ in pairs:
+        env.setdefault(dest, hash(dest.name) & 0xFF)
+    expected = simulate_parallel(pairs, env)
+    seq = sequentialize_pairs(pairs, fresh_factory())
+    actual = simulate_sequence(seq, env)
+    for key in expected:
+        assert actual[key] == expected[key], (pairs, seq)
+    return seq
+
+
+def v(name):
+    return Var(name)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert sequentialize_pairs([], fresh_factory()) == []
+
+    def test_self_copy_dropped(self):
+        assert sequentialize_pairs([(v("a"), v("a"))], fresh_factory()) == []
+
+    def test_chain_no_temp(self):
+        seq = check([(v("a"), v("b")), (v("b"), v("c"))])
+        assert len(seq) == 2
+
+    def test_two_cycle_needs_one_temp(self):
+        seq = check([(v("a"), v("b")), (v("b"), v("a"))])
+        assert len(seq) == 3
+
+    def test_three_cycle(self):
+        seq = check([(v("a"), v("b")), (v("b"), v("c")), (v("c"), v("a"))])
+        assert len(seq) == 4
+
+    def test_fanout_one_source(self):
+        seq = check([(v("a"), v("s")), (v("b"), v("s")), (v("c"), v("s"))])
+        assert len(seq) == 3
+
+    def test_immediate_source(self):
+        seq = check([(v("a"), Imm(7))])
+        assert seq == [(v("a"), Imm(7))]
+
+    def test_immediate_ordered_after_reads(self):
+        # b <- a must execute before a <- 5 overwrites a
+        seq = check([(v("a"), Imm(5)), (v("b"), v("a"))])
+        assert seq.index((v("b"), v("a"))) < seq.index((v("a"), Imm(5)))
+
+    def test_duplicate_dest_rejected(self):
+        with pytest.raises(ValueError):
+            sequentialize_pairs([(v("a"), v("b")), (v("a"), v("c"))],
+                                fresh_factory())
+
+    def test_mixed_cycle_and_chain(self):
+        check([(v("a"), v("b")), (v("b"), v("a")),
+               (v("c"), v("a")), (v("d"), Imm(1))])
+
+
+class TestPermutationProperties:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_all_permutations(self, n):
+        names = [v(f"x{i}") for i in range(n)]
+        for perm in itertools.permutations(range(n)):
+            pairs = [(names[i], names[perm[i]]) for i in range(n)]
+            check(pairs)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                    min_size=0, max_size=6))
+    @settings(max_examples=300, deadline=None)
+    def test_random_mappings(self, raw):
+        # unique destinations, arbitrary sources
+        seen = set()
+        pairs = []
+        for d, s in raw:
+            if d in seen:
+                continue
+            seen.add(d)
+            pairs.append((v(f"x{d}"), v(f"x{s}")))
+        check(pairs)
+
+    @given(st.lists(st.tuples(st.integers(0, 4),
+                              st.one_of(st.integers(0, 4),
+                                        st.integers(100, 105))),
+                    min_size=0, max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_random_with_immediates(self, raw):
+        seen = set()
+        pairs = []
+        for d, s in raw:
+            if d in seen:
+                continue
+            seen.add(d)
+            src = Imm(s) if s >= 100 else v(f"x{s}")
+            pairs.append((v(f"x{d}"), src))
+        check(pairs)
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=100, deadline=None)
+    def test_pure_permutations_cost(self, perm):
+        """Copies = non-fixed points + one temp per nontrivial cycle."""
+        names = [v(f"x{i}") for i in range(6)]
+        pairs = [(names[i], names[perm[i]]) for i in range(6)]
+        seq = check(pairs)
+        moved = sum(1 for i in range(6) if perm[i] != i)
+        cycles = 0
+        seen = set()
+        for i in range(6):
+            if i in seen or perm[i] == i:
+                continue
+            j = i
+            length = 0
+            while j not in seen:
+                seen.add(j)
+                j = perm[j]
+                length += 1
+            if length > 1:
+                cycles += 1
+        assert len(seq) == moved + cycles
+
+
+class TestFunctionLevel:
+    def test_expand_pcopy(self):
+        pc = make_pcopy([(v("a"), v("b")), (v("b"), v("a"))])
+        copies = expand_pcopy(pc, fresh_factory())
+        assert all(c.opcode == "copy" for c in copies)
+        assert len(copies) == 3
+
+    def test_sequentialize_function(self):
+        func = Function("f")
+        block = func.add_block("entry")
+        block.append(Instruction("input",
+                                 defs=[Operand(v("a"), is_def=True),
+                                       Operand(v("b"), is_def=True)]))
+        block.append(make_pcopy([(v("a"), v("b")), (v("b"), v("a"))]))
+        block.append(Instruction("ret", uses=[Operand(v("a"))]))
+        emitted = sequentialize_function(func)
+        assert emitted == 3
+        assert not any(i.is_pcopy for i in func.instructions())

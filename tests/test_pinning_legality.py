@@ -1,0 +1,154 @@
+"""Pinning model and the Figure 4 correctness cases."""
+
+from repro.benchgen.figures import fig2_illegal_source
+from repro.ir import Instruction, Operand
+from repro.ir.types import PhysReg, Var
+from repro.lai import parse_function
+from repro.ssa import (check_function_pinning, pin_definition, resource_of,
+                       variable_resources)
+
+from helpers import function_of
+
+
+def check(src):
+    return check_function_pinning(function_of(src))
+
+
+class TestResourceOf:
+    def test_unpinned_def_is_its_own_resource(self):
+        op = Operand(Var("x"), is_def=True)
+        assert resource_of(op) == Var("x")
+
+    def test_pinned_def(self):
+        op = Operand(Var("x"), pin=PhysReg("R0"), is_def=True)
+        assert resource_of(op) == PhysReg("R0")
+
+    def test_variable_resources_map(self):
+        f = function_of("""
+func f
+entry:
+    input a^R0, b
+    add c^a, b, 1
+    ret c
+endfunc
+""")
+        res = variable_resources(f)
+        assert res[Var("a")] == PhysReg("R0")
+        assert res[Var("c")] == Var("a")
+        assert res[Var("b")] == Var("b")
+
+    def test_pin_definition_helper(self):
+        f = function_of("""
+func f
+entry:
+    input a
+    add c, a, 1
+    ret c
+endfunc
+""")
+        assert pin_definition(f, Var("c"), PhysReg("R3"))
+        assert variable_resources(f)[Var("c")] == PhysReg("R3")
+        assert not pin_definition(f, Var("zz"), PhysReg("R3"))
+
+
+class TestFigure4Cases:
+    def test_case1_two_defs_same_resource(self):
+        errors = check("""
+func f
+entry:
+    input a
+    call x^R0, y^R0 = g(a)
+    add r, x, y
+    ret r
+endfunc
+""")
+        assert any("Case 1" in e for e in errors)
+
+    def test_case2_two_uses_same_resource(self):
+        errors = check("""
+func f
+entry:
+    input a, b
+    add x, a, 1
+    add y, b, 1
+    call r = g(x^R0, y^R0)
+    ret r
+endfunc
+""")
+        assert any("Case 2" in e for e in errors)
+
+    def test_case2_same_variable_ok(self):
+        errors = check("""
+func f
+entry:
+    input a
+    add x, a, 1
+    call r = g(x^R0, x^R0)
+    ret r
+endfunc
+""")
+        assert not errors
+
+    def test_case3_phi_defs_same_resource(self):
+        errors = check("""
+func f
+entry:
+    input a, b
+    cbr a, l, r
+l:
+    br j
+r:
+    br j
+j:
+    x^R5 = phi(a:l, b:r)
+    y^R5 = phi(b:l, a:r)
+    add s, x, y
+    ret s
+endfunc
+""")
+        assert any("Case 3" in e for e in errors)
+
+    def test_case4_tied_def_use_ok(self):
+        errors = check("""
+func f
+entry:
+    input a
+    autoadd x^x, a^x, 1
+    ret x
+endfunc
+""")
+        assert not errors
+
+    def test_case5_phi_arg_pinned_elsewhere(self):
+        errors = check("""
+func f
+entry:
+    input a, b
+    cbr a, l, r
+l:
+    br j
+r:
+    br j
+j:
+    x^R0 = phi(a^R1:l, b:r)
+    ret x
+endfunc
+""")
+        assert any("Case 5" in e for e in errors)
+
+    def test_case6_fig2_stack_pointer(self):
+        errors = check(fig2_illegal_source())
+        assert errors
+        assert any("Case 3" in e or "Case 6" in e for e in errors)
+
+    def test_clean_function_passes(self):
+        errors = check("""
+func f
+entry:
+    input C^R0, p_a^P0
+    autoadd Q^Q, p_a^Q, 1
+    add E, C, Q
+    ret E^R0
+endfunc
+""")
+        assert errors == []

@@ -1,0 +1,102 @@
+"""Profile-guided weighting: block counts and dynamic move weights."""
+
+from repro.lai import parse_module
+from repro.metrics import count_moves, weighted_moves
+from repro.pipeline import run_experiment
+from repro.profile import dynamic_weighted_moves, profile_blocks
+
+from helpers import module_of
+
+LOOPY = """
+func main
+entry:
+    input n
+    make s, 0
+    make i, 0
+    br head
+head:
+    cmplt c, i, n
+    cbr c, body, exit
+body:
+    copy t, s
+    add s, t, i
+    add i, i, 1
+    br head
+exit:
+    copy r, s
+    ret r
+endfunc
+"""
+
+
+class TestBlockCounts:
+    def test_loop_counts(self):
+        module = module_of(LOOPY)
+        counts = profile_blocks(module, [("main", [4])])
+        assert counts[("main", "entry")] == 1
+        assert counts[("main", "head")] == 5   # 4 iterations + exit test
+        assert counts[("main", "body")] == 4
+        assert counts[("main", "exit")] == 1
+
+    def test_counts_accumulate_over_runs(self):
+        module = module_of(LOOPY)
+        counts = profile_blocks(module, [("main", [2]), ("main", [3])])
+        assert counts[("main", "body")] == 5
+
+    def test_calls_counted_per_invocation(self):
+        src = """
+func main
+entry:
+    input n
+    call a = leaf(n)
+    call b = leaf(a)
+    add r, a, b
+    ret r
+endfunc
+func leaf
+entry:
+    input x
+    add y, x, 1
+    ret y
+endfunc
+"""
+        module = module_of(src)
+        counts = profile_blocks(module, [("main", [1])])
+        assert counts[("leaf", "entry")] == 2
+
+
+class TestDynamicWeights:
+    def test_loop_moves_weighted_by_trips(self):
+        module = module_of(LOOPY)
+        # copy t,s runs 4x; copy r,s runs once
+        assert dynamic_weighted_moves(module, [("main", [4])]) == 5
+
+    def test_static_weight_correlates_with_dynamic(self):
+        """The paper's 5^depth static weight must order the pipelines
+        the same way real execution counts do on a loopy program."""
+        module = module_of(LOOPY)
+        verify = [("main", [5])]
+        ours = run_experiment(module, "Lphi,ABI+C", verify=verify)
+        naive = run_experiment(module, "naiveABI+C", verify=verify)
+        static_order = ours.weighted <= naive.weighted
+        dynamic_order = (dynamic_weighted_moves(ours.module, verify)
+                         <= dynamic_weighted_moves(naive.module, verify))
+        assert static_order == dynamic_order
+
+    def test_zero_for_unexecuted_moves(self):
+        src = """
+func main
+entry:
+    input p
+    cbr p, cold, out
+cold:
+    copy a, p
+    store 4, a
+    br out
+out:
+    ret p
+endfunc
+"""
+        module = module_of(src)
+        assert dynamic_weighted_moves(module, [("main", [0])]) == 0
+        assert dynamic_weighted_moves(module, [("main", [1])]) == 1

@@ -1,0 +1,91 @@
+"""Property-based end-to-end tests over random synthetic programs.
+
+hypothesis drives the seeded program generator; every generated module
+must survive the full pipeline with identical observable behaviour.
+This is the widest net in the suite: it regularly exercised the swap
+problem, kills at calls, parallel-copy cycles and the coalescer's
+Condition 2 during development.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen.synthetic import SyntheticConfig, generate_module
+from repro.interp import run_module
+from repro.ir import validate_module
+from repro.metrics import count_phis
+from repro.pipeline import run_experiment
+
+FAST = SyntheticConfig(n_slots=3, n_regions=4, max_depth=2, max_trip=3)
+
+
+def _check(seed: int, experiment: str) -> None:
+    module, verify = generate_module(seed, n_functions=3, config=FAST,
+                                     name=f"prop{seed}")
+    result = run_experiment(module, experiment, verify=verify)
+    validate_module(result.module, allow_phis=False)
+    assert count_phis(result.module) == 0
+
+
+@given(seed=st.integers(0, 2**30))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_full_pipeline_random_programs(seed):
+    _check(seed, "Lphi,ABI+C")
+
+
+@given(seed=st.integers(0, 2**30))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_sreedhar_random_programs(seed):
+    _check(seed, "Sphi+LABI+C")
+
+
+@given(seed=st.integers(0, 2**30))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_naive_abi_random_programs(seed):
+    _check(seed, "naiveABI+C")
+
+
+@given(seed=st.integers(0, 2**30))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_variant_pipelines_random_programs(seed):
+    from repro.pipeline import PhaseOptions
+
+    module, verify = generate_module(seed, n_functions=2, config=FAST,
+                                     name=f"var{seed}")
+    for options in (PhaseOptions(mode="optimistic"),
+                    PhaseOptions(mode="pessimistic"),
+                    PhaseOptions(depth_ordered=True),
+                    PhaseOptions(phys_affinity=False)):
+        run_experiment(module, "Lphi,ABI+C", options=options, verify=verify)
+
+
+@given(seed=st.integers(0, 2**30))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_coalescer_never_increases_moves(seed):
+    """Condition 2 corollary: Lphi,ABI <= LABI move count, per module."""
+    module, verify = generate_module(seed, n_functions=2, config=FAST,
+                                     name=f"mono{seed}")
+    ours = run_experiment(module, "Lphi,ABI", verify=verify).moves
+    labi = run_experiment(module, "LABI", verify=verify).moves
+    assert ours <= labi
+
+
+def test_generator_deterministic():
+    a, _ = generate_module(1234, n_functions=3, config=FAST)
+    b, _ = generate_module(1234, n_functions=3, config=FAST)
+    from repro.ir.printer import format_module
+
+    assert format_module(a) == format_module(b)
+
+
+def test_generator_runs_terminate():
+    module, verify = generate_module(77, n_functions=4, config=FAST)
+    for fn, args in verify:
+        trace = run_module(module, fn, args)
+        assert trace.steps < 500_000

@@ -1,0 +1,129 @@
+"""Constant folding / branch simplification tests."""
+
+from repro.interp import run_function
+from repro.ir import validate_function
+from repro.ir.types import Imm, Var
+from repro.ssa.simplify import fold_constants
+
+from helpers import function_of
+
+
+class TestFolding:
+    def test_arithmetic_chain_folds(self):
+        f = function_of("""
+func f
+entry:
+    make a, 6
+    make b, 7
+    mul c, a, b
+    add d, c, 0
+    ret d
+endfunc
+""")
+        eliminated = fold_constants(f)
+        assert eliminated >= 4
+        ret = f.entry_block.terminator
+        assert ret.uses[0].value == Imm(42)
+        assert run_function(f, []).results == (42,)
+
+    def test_folding_uses_interpreter_semantics(self):
+        f = function_of("""
+func f
+entry:
+    make a, 0x7FFFFFFF
+    add b, a, 1
+    ret b
+endfunc
+""")
+        fold_constants(f)
+        ret = f.entry_block.terminator
+        assert ret.uses[0].value == Imm(-(2**31))
+
+    def test_pinned_def_not_folded(self):
+        f = function_of("""
+func f
+entry:
+    make a^R3, 5
+    add b, a, 1
+    ret b
+endfunc
+""")
+        fold_constants(f)
+        opcodes = [i.opcode for i in f.entry_block.body]
+        assert "make" in opcodes
+
+    def test_non_constant_untouched(self):
+        f = function_of("""
+func f
+entry:
+    input x
+    add y, x, 1
+    ret y
+endfunc
+""")
+        assert fold_constants(f) == 0
+
+
+class TestBranchFolding:
+    def test_constant_branch_becomes_jump(self):
+        f = function_of("""
+func f
+entry:
+    make c, 1
+    cbr c, yes, no
+yes:
+    make r, 10
+    br out
+no:
+    make r2, 20
+    br out
+out:
+    v = phi(r:yes, r2:no)
+    ret v
+endfunc
+""")
+        before = run_function(f.copy(), []).observable()
+        fold_constants(f)
+        validate_function(f, ssa=True)
+        assert "no" not in f.blocks
+        assert f.blocks["out"].phis == []  # degenerate phi folded
+        assert run_function(f, []).observable() == before
+
+    def test_loop_with_constant_guard_unrolls_to_exit(self):
+        f = function_of("""
+func f
+entry:
+    input x
+    make c, 0
+    cbr c, loop, out
+loop:
+    br loop
+out:
+    ret x
+endfunc
+""")
+        fold_constants(f)
+        assert "loop" not in f.blocks
+        assert run_function(f, [3]).results == (3,)
+
+    def test_phi_pruned_on_dead_edge(self):
+        f = function_of("""
+func f
+entry:
+    input x
+    make c, 1
+    cbr c, a, b
+a:
+    add v1, x, 1
+    br j
+b:
+    add v2, x, 2
+    br j
+j:
+    v = phi(v1:a, v2:b)
+    ret v
+endfunc
+""")
+        fold_constants(f)
+        validate_function(f, ssa=True)
+        assert run_function(f, [10]).results == (11,)

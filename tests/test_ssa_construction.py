@@ -1,0 +1,321 @@
+"""Pruned SSA construction and SSA cleanup (copy propagation, DCE)."""
+
+import pytest
+
+from repro.interp import run_function
+from repro.ir import validate_function
+from repro.ir.types import PhysReg, Var
+from repro.lai import parse_function
+from repro.ssa import (SSAConstructionError, construct_ssa,
+                       eliminate_dead_code, optimize_ssa, propagate_copies)
+
+from helpers import function_of
+
+REASSIGN = """
+func f
+entry:
+    input a, n
+    make x, 0
+    cbr a, t, e
+t:
+    add x, n, 1
+    br j
+e:
+    add x, n, 2
+    br j
+j:
+    ret x
+endfunc
+"""
+
+
+class TestConstruction:
+    def test_diamond_gets_phi(self):
+        f = function_of(REASSIGN)
+        construct_ssa(f)
+        validate_function(f, ssa=True)
+        assert len(f.blocks["j"].phis) == 1
+        phi = f.blocks["j"].phis[0]
+        assert len(phi.uses) == 2
+
+    def test_semantics_preserved(self):
+        f = function_of(REASSIGN)
+        before = run_function(f.copy(), [1, 10]).observable()
+        construct_ssa(f)
+        assert run_function(f.copy(), [1, 10]).observable() == before
+
+    def test_loop_phis(self):
+        src = """
+func f
+entry:
+    input n
+    make i, 0
+    make s, 1
+    br head
+head:
+    cmplt c, i, n
+    cbr c, body, exit
+body:
+    mul s, s, 2
+    add i, i, 1
+    br head
+exit:
+    ret s
+endfunc
+"""
+        f = function_of(src)
+        before = run_function(f.copy(), [4]).observable()
+        construct_ssa(f)
+        validate_function(f, ssa=True)
+        assert len(f.blocks["head"].phis) == 2  # i and s
+        assert run_function(f.copy(), [4]).observable() == before
+
+    def test_pruned_no_dead_phis(self):
+        """x is dead after the diamond on one side; liveness pruning
+        must not place a phi for a name not live at the join."""
+        src = """
+func f
+entry:
+    input a, n
+    make x, 0
+    cbr a, t, e
+t:
+    add x, n, 1
+    store 8, x
+    br j
+e:
+    br j
+j:
+    ret n
+endfunc
+"""
+        f = function_of(src)
+        construct_ssa(f)
+        assert f.blocks["j"].phis == []
+
+    def test_physical_register_renaming(self):
+        src = """
+func f
+entry:
+    readsp $SP
+    sub $SP, $SP, 8
+    store $SP, 5
+    load x, $SP
+    add $SP, $SP, 8
+    ret x
+endfunc
+"""
+        f = function_of(src)
+        construct_ssa(f)
+        validate_function(f, ssa=True)
+        sp = PhysReg("SP")
+        sp_vars = [v for v in f.variables() if v.origin is not None]
+        assert len(sp_vars) == 3  # readsp, sub, add
+        assert all(v.origin.name == "SP" for v in sp_vars)
+        # no physical register operand remains
+        for instr in f.instructions():
+            for op in instr.operands():
+                assert not isinstance(op.value, PhysReg)
+
+    def test_read_before_write_rejected(self):
+        src = """
+func f
+entry:
+    input a
+    cbr a, t, j
+t:
+    make x, 1
+    br j
+j:
+    ret x
+endfunc
+"""
+        with pytest.raises(SSAConstructionError):
+            construct_ssa(function_of(src))
+
+    def test_double_construction_rejected(self):
+        f = function_of(REASSIGN)
+        construct_ssa(f)
+        with pytest.raises(SSAConstructionError, match="already contains"):
+            construct_ssa(f)
+
+    def test_critical_edges_split(self):
+        from repro.ir import has_critical_edges
+
+        src = """
+func f
+entry:
+    input a
+    make x, 0
+    cbr a, mid, j
+mid:
+    add x, a, 1
+    br j
+j:
+    ret x
+endfunc
+"""
+        f = function_of(src)
+        construct_ssa(f)
+        assert not has_critical_edges(f)
+
+
+class TestCopyProp:
+    def test_forwarding_chain(self):
+        src = """
+func f
+entry:
+    input a
+    copy b, a
+    copy c, b
+    add r, c, c
+    ret r
+endfunc
+"""
+        f = function_of(src)
+        n = propagate_copies(f)
+        assert n >= 2
+        add = next(i for i in f.instructions() if i.opcode == "add")
+        assert [op.value for op in add.uses] == [Var("a"), Var("a")]
+
+    def test_pinned_copy_not_propagated(self):
+        src = """
+func f
+entry:
+    input a
+    copy b^R0, a
+    add r, b, 1
+    ret r
+endfunc
+"""
+        f = function_of(src)
+        propagate_copies(f)
+        add = next(i for i in f.instructions() if i.opcode == "add")
+        assert add.uses[0].value == Var("b")
+
+    def test_propagates_into_phi_args(self):
+        src = """
+func f
+entry:
+    input a
+    copy b, a
+    cbr a, l, r
+l:
+    br j
+r:
+    br j
+j:
+    x = phi(b:l, a:r)
+    ret x
+endfunc
+"""
+        f = function_of(src)
+        propagate_copies(f)
+        phi = f.blocks["j"].phis[0]
+        assert [op.value for op in phi.uses] == [Var("a"), Var("a")]
+
+    def test_dce_removes_dead_copy_and_chain(self):
+        src = """
+func f
+entry:
+    input a
+    copy b, a
+    add dead, b, 1
+    mul deader, dead, 2
+    ret a
+endfunc
+"""
+        f = function_of(src)
+        removed = eliminate_dead_code(f)
+        assert removed == 3
+        assert [i.opcode for i in f.entry_block.body] == ["input", "ret"]
+
+    def test_dce_keeps_side_effects(self):
+        src = """
+func f
+entry:
+    input a
+    store 4, a
+    call x = g(a)
+    ret a
+endfunc
+func g
+entry:
+    input z
+    ret z
+endfunc
+"""
+        f = parse_function("""
+func f
+entry:
+    input a
+    store 4, a
+    ret a
+endfunc
+""")
+        assert eliminate_dead_code(f) == 0
+
+    def test_optimize_preserves_semantics(self):
+        src = """
+func f
+entry:
+    input a, n
+    copy x, a
+    copy y, x
+    make t, 0
+    cbr a, l, r
+l:
+    copy t, y
+    br j
+r:
+    add t, y, 1
+    br j
+j:
+    ret t
+endfunc
+"""
+        f = function_of(src)
+        construct_ssa(f)
+        before = run_function(f.copy(), [1, 5]).observable()
+        before0 = run_function(f.copy(), [0, 5]).observable()
+        optimize_ssa(f)
+        validate_function(f, ssa=True)
+        assert run_function(f.copy(), [1, 5]).observable() == before
+        assert run_function(f.copy(), [0, 5]).observable() == before0
+
+    def test_swap_becomes_phi_swap(self):
+        """Copy propagation turns a rotation through a temp into the
+        textbook swap phi pair (paper Figure 10)."""
+        src = """
+func f
+entry:
+    input a, b, n
+    make i, 0
+    br head
+head:
+    cmplt c, i, n
+    cbr c, body, exit
+body:
+    copy t, a
+    copy a, b
+    copy b, t
+    add i, i, 1
+    br head
+exit:
+    shl x, a, 8
+    or r, x, b
+    ret r
+endfunc
+"""
+        f = function_of(src)
+        construct_ssa(f)
+        optimize_ssa(f)
+        phis = f.blocks["head"].phis
+        args = {phi.defs[0].value: {op.value for op in phi.uses}
+                for phi in phis}
+        defs = set(args)
+        # some phi's argument set intersects the other phi defs: the web
+        # is entangled (a swap), no copies remain in the body
+        assert any(defs & vals for vals in args.values())
+        assert all(not i.is_copy for i in f.blocks.get("body").body
+                   if i.opcode == "copy")

@@ -1,0 +1,59 @@
+"""The simulated benchmark suites themselves."""
+
+import pytest
+
+from repro.benchgen import (SUITE_NAMES, all_suites, load_suite, valcc1,
+                            valcc2)
+from repro.interp import run_module
+from repro.ir import validate_module
+from repro.metrics import count_instructions
+
+
+class TestSuiteStructure:
+    def test_five_suites_in_paper_order(self):
+        assert SUITE_NAMES == ("VALcc1", "VALcc2", "example1-8",
+                               "LAI_Large", "SPECint")
+
+    @pytest.mark.parametrize("name", SUITE_NAMES)
+    def test_suites_valid_and_runnable(self, name):
+        suite = load_suite(name)
+        validate_module(suite.module)
+        assert suite.verify, "every suite needs verify runs"
+        for fn, args in suite.verify:
+            run_module(suite.module, fn, list(args))
+
+    def test_fresh_returns_copy(self):
+        suite = load_suite("VALcc1")
+        clone = suite.fresh()
+        assert clone is not suite.module
+        clone.functions.clear()
+        assert suite.module.functions
+
+    def test_sizes_ordered(self):
+        sizes = {s.name: count_instructions(s.module) for s in all_suites()}
+        assert sizes["SPECint"] > sizes["VALcc1"]
+        assert sizes["LAI_Large"] > sizes["VALcc1"]
+
+
+class TestStyle2:
+    def test_valcc2_has_no_tied_instructions(self):
+        m = valcc2().module
+        tied_ops = [i for f in m.iter_functions()
+                    for i in f.instructions()
+                    if i.opcode in ("autoadd", "mac", "more")]
+        assert tied_ops == []
+
+    def test_valcc1_has_tied_instructions(self):
+        m = valcc1().module
+        tied_ops = [i for f in m.iter_functions()
+                    for i in f.instructions()
+                    if i.opcode in ("autoadd", "mac", "more")]
+        assert tied_ops
+
+    def test_same_behaviour_both_compilers(self):
+        s1, s2 = valcc1(), valcc2()
+        assert s1.verify == s2.verify
+        for fn, args in s1.verify:
+            a = run_module(s1.module, fn, list(args)).observable()
+            b = run_module(s2.module, fn, list(args)).observable()
+            assert a == b, fn
