@@ -10,6 +10,7 @@ by the dead code and aggressive coalescing phases").
 import pytest
 
 from conftest import run_once
+from repro.observability import Tracer
 from repro.pipeline import run_experiment
 
 TABLE = "table3"
@@ -21,8 +22,10 @@ SUITE_NAMES = ("VALcc1", "VALcc2", "example1-8", "LAI_Large", "SPECint")
 @pytest.mark.parametrize("experiment", EXPERIMENTS)
 def test_table3(benchmark, suites, collector, suite_name, experiment):
     suite = suites[suite_name]
-    result = run_once(benchmark, run_experiment, suite.module, experiment)
-    collector.record(TABLE, suite_name, experiment, result.moves)
+    result = run_once(benchmark, run_experiment, suite.module, experiment,
+                      tracer=Tracer())
+    collector.record(TABLE, suite_name, experiment, result.moves,
+                     result=result)
 
 
 def test_table3_report(benchmark, suites, collector, capsys):

@@ -12,6 +12,7 @@ over-approximated interference loses substantially (the paper's +1484
 import pytest
 
 from conftest import run_once
+from repro.observability import Tracer
 from repro.pipeline import PhaseOptions, run_experiment, table5_variants
 
 TABLE = "table5"
@@ -25,8 +26,9 @@ def test_table5(benchmark, suites, collector, suite_name, variant):
     suite = suites[suite_name]
     options = table5_variants()[variant]
     result = run_once(benchmark, run_experiment, suite.module,
-                      "Lphi,ABI+C", options=options)
-    collector.record(TABLE, suite_name, variant, result.weighted)
+                      "Lphi,ABI+C", options=options, tracer=Tracer())
+    collector.record(TABLE, suite_name, variant, result.weighted,
+                     result=result)
 
 
 def test_table5_report(benchmark, suites, collector, capsys):

@@ -1,0 +1,73 @@
+"""Observability overhead guard: the null tracer must be free.
+
+``run_phases`` installs :data:`~repro.observability.NULL_TRACER` when no
+tracer is passed; the design contract (docs/observability.md) is that
+the uninstrumented pipeline pays only pointer comparisons -- no
+snapshots, no record allocation, no counter dictionaries.  Two angles:
+
+* ``test_null_vs_traced_timing`` benchmarks the same experiment with
+  the null tracer and with a recording :class:`Tracer` and prints the
+  measured instrumentation cost, so regressions show up in the
+  pytest-benchmark history next to ``bench_compile_time.py`` (whose
+  numbers *are* the null path and must stay within noise of the seed).
+* the structural zero-overhead proof -- that the null path never calls
+  the per-phase snapshot machinery at all -- lives in
+  ``tests/test_observability.py`` and runs with the tier-1 suite.
+"""
+
+import time
+
+import pytest
+
+from repro.observability import Tracer
+from repro.pipeline import run_experiment
+
+SUITE_NAME = "VALcc1"
+EXPERIMENT = "Lphi,ABI+C"
+
+
+def _median_seconds(fn, rounds=5):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2]
+
+
+def test_null_tracer_timing(benchmark, suites):
+    suite = suites[SUITE_NAME]
+    benchmark.pedantic(run_experiment, args=(suite.module, EXPERIMENT),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_recording_tracer_timing(benchmark, suites):
+    suite = suites[SUITE_NAME]
+    benchmark.pedantic(
+        lambda: run_experiment(suite.module, EXPERIMENT, tracer=Tracer()),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_tracing_cost_report(benchmark, suites, capsys):
+    """Print the null-vs-recording ratio; fail only on gross blowups.
+
+    The recording tracer legitimately costs something (per-phase IR
+    snapshots, span/event records); the guard is that it stays within
+    a small integer factor, i.e. tracing is always-affordable, and --
+    by implication -- the null path the other benchmarks measure isn't
+    silently doing the recording tracer's work.
+    """
+    run_once_noop = lambda: None
+    benchmark.pedantic(run_once_noop, rounds=1, iterations=1)
+    suite = suites[SUITE_NAME]
+    null_s = _median_seconds(lambda: run_experiment(suite.module, EXPERIMENT))
+    traced_s = _median_seconds(
+        lambda: run_experiment(suite.module, EXPERIMENT, tracer=Tracer()))
+    ratio = traced_s / null_s
+    with capsys.disabled():
+        print(f"\nnull tracer: {null_s * 1e3:.1f} ms   "
+              f"recording tracer: {traced_s * 1e3:.1f} ms   "
+              f"ratio: {ratio:.3f}")
+    assert ratio < 3.0, (
+        f"recording tracer is {ratio:.2f}x the null pipeline -- "
+        f"instrumentation has leaked into a hot loop")

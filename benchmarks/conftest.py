@@ -33,14 +33,28 @@ def suites():
 
 
 class TableCollector:
-    """Accumulates experiment counts and renders paper-style tables."""
+    """Accumulates experiment counts and renders paper-style tables.
+
+    When benchmarks hand over the full
+    :class:`~repro.pipeline.ExperimentResult` (``result=``), its
+    ``repro.stats/v1`` document is stashed too, and :meth:`save` writes
+    a ``<table>.stats.json`` collection next to the legacy counts --
+    the same schema the CLI emits, so trajectory tooling can consume
+    benchmark output and ``repro tables --stats-json`` interchangeably.
+    """
 
     def __init__(self):
         self.tables = {}
+        self.stats_docs = []
 
-    def record(self, table, suite, experiment, value):
+    def record(self, table, suite, experiment, value, result=None):
         self.tables.setdefault(table, {}).setdefault(
             suite, {})[experiment] = value
+        if result is not None and hasattr(result, "to_stats"):
+            doc = result.to_stats()
+            doc["table"] = table
+            doc["suite"] = suite
+            self.stats_docs.append(doc)
 
     def render(self, table, baseline):
         rows = self.tables.get(table, {})
@@ -75,6 +89,15 @@ class TableCollector:
         path = os.path.join(RESULTS_DIR, f"{name}.json")
         with open(path, "w") as handle:
             json.dump(self.tables, handle, indent=2, sort_keys=True)
+        docs = [d for d in self.stats_docs if d.get("table") == name]
+        if docs:
+            from repro.observability import COLLECTION_SCHEMA, validate_stats
+
+            document = {"schema": COLLECTION_SCHEMA, "runs": docs}
+            validate_stats(document)
+            stats_path = os.path.join(RESULTS_DIR, f"{name}.stats.json")
+            with open(stats_path, "w") as handle:
+                json.dump(document, handle, indent=2)
         return path
 
 

@@ -8,24 +8,33 @@ Usage (also via ``python -m repro``):
     repro compile prog.lai -e C            # any Table 1 experiment
     repro compile prog.lai --variant opt   # Table 5 coalescer variants
     repro compile prog.lai --show-ssa      # dump the pinned SSA too
+    repro compile prog.lai --trace t.json \\
+                           --stats-json s.json -v   # observability
     repro run prog.lai main 3 4            # interpret a function
-    repro experiments prog.lai             # move counts for all pipelines
+    repro experiments prog.lai             # move counts + per-phase
+                                           # breakdown for all pipelines
     repro tables                           # the paper's tables on the
                                            # simulated suites
 
 The compiler prints the transformed module to stdout (or ``-o FILE``)
 plus a statistics footer on stderr, so output can be piped or diffed.
+``--trace`` writes a Chrome ``trace_event`` file for ``chrome://tracing``
+and ``--stats-json`` a ``repro.stats/v1`` document (see
+docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from .interp import InterpreterError, run_module
 from .ir.printer import format_module
 from .lai import LaiSyntaxError, parse_module
+from .observability import (COLLECTION_SCHEMA, Tracer, phase_table,
+                            summary, write_chrome_trace)
 from .pipeline import (EXPERIMENTS, PhaseOptions, run_experiment,
                        table5_variants)
 
@@ -46,6 +55,21 @@ def _options(args) -> Optional[PhaseOptions]:
     if args.variant == "base":
         return None
     return table5_variants()[args.variant]
+
+
+def _tracer_for(args) -> Optional[Tracer]:
+    """A recording tracer when any observability flag asks for one,
+    ``None`` (= the zero-overhead null tracer) otherwise."""
+    wants = (getattr(args, "trace", None) or
+             getattr(args, "stats_json", None) or
+             getattr(args, "verbose", False))
+    return Tracer() if wants else None
+
+
+def _write_json(path: str, document: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
 
 
 def cmd_compile(args) -> int:
@@ -72,8 +96,14 @@ def cmd_compile(args) -> int:
         print("; ---- pinned SSA ----", file=sys.stderr)
         print(format_module(shown), file=sys.stderr)
 
+    tracer = _tracer_for(args)
     result = run_experiment(module, args.experiment,
-                            options=_options(args), verify=verify)
+                            options=_options(args), verify=verify,
+                            tracer=tracer)
+    if args.trace:
+        write_chrome_trace(tracer, args.trace)
+    if args.stats_json:
+        _write_json(args.stats_json, result.to_stats())
     text = format_module(result.module)
     if args.output:
         with open(args.output, "w") as handle:
@@ -83,6 +113,9 @@ def cmd_compile(args) -> int:
     print(f"; experiment={args.experiment} moves={result.moves} "
           f"weighted={result.weighted} "
           f"instructions={result.instructions}", file=sys.stderr)
+    if args.verbose:
+        print(phase_table(result.phase_breakdown), file=sys.stderr)
+        print(summary(tracer), file=sys.stderr)
     return 0
 
 
@@ -106,11 +139,25 @@ def cmd_run(args) -> int:
 
 def cmd_experiments(args) -> int:
     module = _load(args.file)
-    print(f"{'experiment':<14}{'moves':>7}{'weighted':>10}{'instrs':>8}")
+    results = []
     for name in EXPERIMENTS:
-        result = run_experiment(module, name)
-        print(f"{name:<14}{result.moves:>7}{result.weighted:>10}"
-              f"{result.instructions:>8}")
+        results.append(run_experiment(module, name, tracer=Tracer()))
+    if args.stats_json:
+        _write_json(args.stats_json,
+                    {"schema": COLLECTION_SCHEMA,
+                     "runs": [r.to_stats() for r in results]})
+    if args.format == "json":
+        document = {"schema": COLLECTION_SCHEMA,
+                    "runs": [r.to_stats() for r in results]}
+        print(json.dumps(document, indent=2))
+    else:
+        print(f"{'experiment':<14}{'moves':>7}{'weighted':>10}{'instrs':>8}")
+        for result in results:
+            print(f"{result.name:<14}{result.moves:>7}{result.weighted:>10}"
+                  f"{result.instructions:>8}")
+        for result in results:
+            print(f"\n-- {result.name}: per-phase breakdown --")
+            print(phase_table(result.phase_breakdown))
     return 0
 
 
@@ -119,6 +166,7 @@ def cmd_tables(args) -> int:
     from .pipeline import TABLE_EXPERIMENTS
 
     suites = all_suites()
+    runs = []
     for table, experiments in TABLE_EXPERIMENTS.items():
         print(f"--- {table} ---")
         header = "suite".ljust(13) + "".join(
@@ -127,10 +175,20 @@ def cmd_tables(args) -> int:
         for suite in suites:
             cells = []
             for experiment in experiments:
-                result = run_experiment(suite.module, experiment)
+                tracer = Tracer() if args.stats_json else None
+                result = run_experiment(suite.module, experiment,
+                                        tracer=tracer)
                 value = result.weighted if args.weighted else result.moves
                 cells.append(str(value).rjust(14))
+                if args.stats_json:
+                    document = result.to_stats()
+                    document["table"] = table
+                    document["suite"] = suite.name
+                    runs.append(document)
             print(suite.name.ljust(13) + "".join(cells))
+    if args.stats_json:
+        _write_json(args.stats_json,
+                    {"schema": COLLECTION_SCHEMA, "runs": runs})
     return 0
 
 
@@ -156,6 +214,15 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("--verify", nargs="+", metavar="FN/ARG",
                            help="function name and int args to replay "
                                 "before/after as a semantic check")
+    compile_p.add_argument("--trace", metavar="FILE",
+                           help="write a Chrome trace_event JSON file "
+                                "(open in chrome://tracing or Perfetto)")
+    compile_p.add_argument("--stats-json", metavar="FILE",
+                           help="write per-phase stats as a "
+                                "repro.stats/v1 JSON document")
+    compile_p.add_argument("-v", "--verbose", action="store_true",
+                           help="print the per-phase breakdown and span "
+                                "summary to stderr")
     compile_p.set_defaults(fn=cmd_compile)
 
     run_p = sub.add_parser("run", help="interpret a function")
@@ -167,14 +234,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.set_defaults(fn=cmd_run)
 
     exp_p = sub.add_parser(
-        "experiments", help="move counts for every pipeline")
+        "experiments",
+        help="move counts + per-phase breakdown for every pipeline")
     exp_p.add_argument("file")
+    exp_p.add_argument("--format", default="table",
+                       choices=["table", "json"],
+                       help="human-readable tables (default) or a "
+                            "repro.stats-collection/v1 JSON on stdout")
+    exp_p.add_argument("--stats-json", metavar="FILE",
+                       help="also write the stats collection here")
     exp_p.set_defaults(fn=cmd_experiments)
 
     tables_p = sub.add_parser(
         "tables", help="paper tables over the simulated suites")
     tables_p.add_argument("--weighted", action="store_true",
                           help="report 5^depth-weighted counts")
+    tables_p.add_argument("--stats-json", metavar="FILE",
+                          help="write every run's stats as a "
+                               "repro.stats-collection/v1 JSON document")
     tables_p.set_defaults(fn=cmd_tables)
     return parser
 

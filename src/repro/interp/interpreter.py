@@ -24,11 +24,12 @@ Semantics highlights
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..ir.function import Function, Module
 from ..ir.instructions import Instruction, Operand
 from ..ir.types import Imm, Value, wrap32
+from ..observability import resolve as _resolve_tracer
 
 
 class InterpreterError(Exception):
@@ -72,13 +73,39 @@ class Interpreter:
         Global instruction budget; exceeded means
         :class:`InterpreterError` (guards against broken branch rewrites
         producing infinite loops).
+    on_block:
+        Optional ``callback(function_name, block_label)`` fired once per
+        *block execution* (function entry included) -- the single hook
+        behind block profiling (:mod:`repro.profile`) and tracer block
+        counters.  ``None`` (the default) costs one ``is None`` test per
+        executed block.
+    tracer:
+        Optional :class:`repro.observability.Tracer`; each :meth:`run`
+        is wrapped in an ``interp:<function>`` span, and the
+        ``interp.runs`` / ``interp.steps`` / ``interp.block_entries``
+        counters accumulate across runs.
     """
 
-    def __init__(self, module: Module, max_steps: int = 2_000_000) -> None:
+    def __init__(self, module: Module, max_steps: int = 2_000_000,
+                 on_block: Optional[Callable[[str, str], None]] = None,
+                 tracer=None) -> None:
         self.module = module
         self.max_steps = max_steps
         self.memory: dict[int, int] = {}
         self.trace = Trace()
+        self.tracer = tracer = _resolve_tracer(tracer)
+        if tracer.enabled:
+            count_entry = tracer.counter("interp.block_entries").add
+
+            def notify(fn_name: str, label: str,
+                       _count=count_entry, _inner=on_block) -> None:
+                _count()
+                if _inner is not None:
+                    _inner(fn_name, label)
+
+            self._on_block: Optional[Callable] = notify
+        else:
+            self._on_block = on_block
 
     # ------------------------------------------------------------------
     def run(self, function_name: str, args: Sequence[int] = (),
@@ -86,9 +113,14 @@ class Interpreter:
         """Run *function_name* on integer *args*; return the trace."""
         self.memory = dict(memory or {})
         self.trace = Trace()
-        results = self._call(self.module.function(function_name), list(args),
-                             depth=0)
+        tracer = self.tracer
+        with tracer.span(f"interp:{function_name}", function=function_name):
+            results = self._call(self.module.function(function_name),
+                                 list(args), depth=0)
         self.trace.results = tuple(results)
+        if tracer.enabled:
+            tracer.count("interp.runs")
+            tracer.count("interp.steps", self.trace.steps)
         return self.trace
 
     # ------------------------------------------------------------------
@@ -98,7 +130,10 @@ class Interpreter:
             raise InterpreterError("call depth exceeded")
         frame = _Frame(function)
         entered_params = False
+        notify = self._on_block
         while True:
+            if notify is not None:
+                notify(function.name, frame.block)
             block = function.blocks[frame.block]
             # 1. phis, in parallel, against the edge we arrived through.
             if block.phis:
@@ -234,18 +269,24 @@ class Interpreter:
 def run_module(module: Module, function_name: str,
                args: Sequence[int] = (),
                memory: Optional[dict[int, int]] = None,
-               max_steps: int = 2_000_000) -> Trace:
+               max_steps: int = 2_000_000,
+               on_block: Optional[Callable[[str, str], None]] = None,
+               tracer=None) -> Trace:
     """Convenience wrapper: run one function of *module*."""
-    return Interpreter(module, max_steps).run(function_name, args, memory)
+    return Interpreter(module, max_steps, on_block=on_block,
+                       tracer=tracer).run(function_name, args, memory)
 
 
 def run_function(function: Function, args: Sequence[int] = (),
                  memory: Optional[dict[int, int]] = None,
                  externals: Optional[dict[str, object]] = None,
-                 max_steps: int = 2_000_000) -> Trace:
+                 max_steps: int = 2_000_000,
+                 on_block: Optional[Callable[[str, str], None]] = None,
+                 tracer=None) -> Trace:
     """Run a standalone function (wrapped in a throwaway module)."""
     module = Module("__anon__")
     module.functions[function.name] = function
     for name, fn in (externals or {}).items():
         module.add_external(name, fn)
-    return Interpreter(module, max_steps).run(function.name, args, memory)
+    return Interpreter(module, max_steps, on_block=on_block,
+                       tracer=tracer).run(function.name, args, memory)

@@ -8,6 +8,22 @@
   iterations" (Table 5);
 * :func:`count_instructions` -- total instruction count, used by the
   compile-time-oriented reports.
+
+φ-instruction convention
+------------------------
+All metrics iterate the *same* instruction stream,
+``block.instructions()`` (φs first, then the body), through one shared
+:func:`functions_of` helper:
+
+* :func:`count_instructions` **includes** φ-instructions -- a φ is an
+  instruction the later phases must still lower;
+* :func:`count_moves` / :func:`weighted_moves` **never count** φs -- a
+  φ is not a ``copy`` (``instr.is_copy`` is false for it); only the
+  materialized register-to-register moves the tables charge appear.
+
+Every metric accepts a :class:`~repro.ir.function.Function`, a
+:class:`~repro.ir.function.Module`, or any object exposing
+``iter_functions()`` (duck-typed, no isinstance checks).
 """
 
 from __future__ import annotations
@@ -16,37 +32,52 @@ from .analysis.loops import LoopForest
 from .ir.function import Function, Module
 
 
+def functions_of(item: Function | Module) -> tuple:
+    """The functions of *item*: a Module-like (anything exposing
+    ``iter_functions``) yields its functions, anything else is treated
+    as a single function.  The shared entry point of every metric."""
+    iter_functions = getattr(item, "iter_functions", None)
+    if iter_functions is None:
+        return (item,)
+    return tuple(iter_functions())
+
+
 def count_moves(item: Function | Module) -> int:
-    """Number of register-to-register copies (immediates excluded)."""
-    if isinstance(item, Module):
-        return sum(count_moves(f) for f in item.iter_functions())
-    return sum(1 for instr in item.instructions() if instr.is_copy)
+    """Number of register-to-register copies (immediates excluded).
+
+    φ-instructions are iterated but never counted: ``is_copy`` holds
+    only for materialized ``copy`` instructions.
+    """
+    return sum(sum(1 for instr in f.instructions() if instr.is_copy)
+               for f in functions_of(item))
 
 
 def weighted_moves(item: Function | Module, base: int = 5) -> int:
-    """Sum of ``base**depth`` over all move instructions."""
-    if isinstance(item, Module):
-        return sum(weighted_moves(f, base) for f in item.iter_functions())
-    loops = LoopForest(item)
+    """Sum of ``base**depth`` over all move instructions (φs excluded,
+    same convention as :func:`count_moves`)."""
     total = 0
-    for block in item.iter_blocks():
-        weight = base ** loops.depth(block.label)
-        for instr in block.body:
-            if instr.is_copy:
-                total += weight
+    for function in functions_of(item):
+        loops = LoopForest(function)
+        for block in function.iter_blocks():
+            weight = base ** loops.depth(block.label)
+            for instr in block.instructions():
+                if instr.is_copy:
+                    total += weight
     return total
 
 
 def count_instructions(item: Function | Module) -> int:
-    if isinstance(item, Module):
-        return sum(count_instructions(f) for f in item.iter_functions())
-    return sum(len(block) for block in item.iter_blocks())
+    """Total instruction count, φ-instructions **included** (every
+    ``block.instructions()`` element counts exactly once)."""
+    return sum(sum(1 for _ in f.instructions())
+               for f in functions_of(item))
 
 
 def count_phis(item: Function | Module) -> int:
-    if isinstance(item, Module):
-        return sum(count_phis(f) for f in item.iter_functions())
-    return sum(len(block.phis) for block in item.iter_blocks())
+    """Number of φ-instructions (the part of :func:`count_instructions`
+    that :func:`count_moves` will never see)."""
+    return sum(sum(len(block.phis) for block in f.iter_blocks())
+               for f in functions_of(item))
 
 
 #: A simple latency model in the spirit of a single-issue DSP: moves and
@@ -73,12 +104,11 @@ def static_cycles(item: Function | Module, base: int = 5) -> int:
     removed from a depth-2 loop saves 25 weighted cycles, one removed
     from straight-line code saves 1.
     """
-    if isinstance(item, Module):
-        return sum(static_cycles(f, base) for f in item.iter_functions())
-    loops = LoopForest(item)
     total = 0
-    for block in item.iter_blocks():
-        weight = base ** loops.depth(block.label)
-        for instr in block.instructions():
-            total += CYCLE_COSTS.get(instr.opcode, 1) * weight
+    for function in functions_of(item):
+        loops = LoopForest(function)
+        for block in function.iter_blocks():
+            weight = base ** loops.depth(block.label)
+            for instr in block.instructions():
+                total += CYCLE_COSTS.get(instr.opcode, 1) * weight
     return total

@@ -1,0 +1,34 @@
+"""Observability for the out-of-SSA pipeline: tracing, counters, stats.
+
+Public surface:
+
+* :class:`Tracer` / :data:`NULL_TRACER` -- the recording tracer and the
+  zero-overhead default (see :mod:`.tracer`);
+* :func:`resolve` -- normalize an optional ``tracer=`` argument;
+* exporters -- :func:`chrome_trace_events` / :func:`write_chrome_trace`
+  (Chrome ``trace_event`` format), :func:`summary` and
+  :func:`phase_table` (human-readable), :func:`jsonable`;
+* schema -- :func:`validate_stats` and the ``repro.stats/v1`` document
+  contract (see :mod:`.schema` and ``docs/observability.md``).
+
+Every instrumented entry point (``run_phases``, ``coalesce_phis``,
+``sreedhar_to_cssa``, ``aggressive_coalesce``, the interpreter) takes an
+optional ``tracer`` keyword defaulting to ``None`` == :data:`NULL_TRACER`.
+"""
+
+from .exporters import (chrome_trace_events, chrome_trace_json, jsonable,
+                        phase_table, summary, write_chrome_trace)
+from .schema import (COLLECTION_SCHEMA, DELTA_KEYS, SNAPSHOT_KEYS,
+                     STATS_SCHEMA, SchemaError, validate_stats,
+                     validate_stats_file)
+from .tracer import (NULL_TRACER, EventRecord, NullTracer, SpanRecord,
+                     Tracer, resolve)
+
+__all__ = [
+    "NULL_TRACER", "NullTracer", "Tracer", "SpanRecord", "EventRecord",
+    "resolve",
+    "chrome_trace_events", "chrome_trace_json", "write_chrome_trace",
+    "summary", "phase_table", "jsonable",
+    "STATS_SCHEMA", "COLLECTION_SCHEMA", "DELTA_KEYS", "SNAPSHOT_KEYS",
+    "SchemaError", "validate_stats", "validate_stats_file",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.observability <stats.json> ...`` validates stats
+files against the documented schema (see :mod:`.schema`)."""
+
+from .schema import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

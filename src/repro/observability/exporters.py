@@ -1,0 +1,130 @@
+"""Exporters for the tracer: Chrome ``trace_event`` JSON, plain JSON
+helpers, and the human-readable ``-v`` summary.
+
+Chrome trace format
+-------------------
+:func:`chrome_trace_events` maps the tracer's records onto the Trace
+Event Format consumed by ``chrome://tracing`` / Perfetto:
+
+* every completed span becomes a complete event (``"ph": "X"``) with
+  microsecond ``ts``/``dur``;
+* every point event becomes a thread-scoped instant (``"ph": "i"``);
+* every counter becomes one final counter sample (``"ph": "C"``) at the
+  end of the trace, so totals show up in the UI.
+
+All events share ``pid``/``tid`` 1 -- the pipeline is single-threaded,
+and nesting is reconstructed by the viewer from the timestamps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Iterable
+
+from .tracer import Tracer
+
+#: ``cat`` assigned to all exported events.
+_CATEGORY = "repro"
+
+
+def jsonable(value):
+    """Best-effort conversion of phase statistics to JSON-serializable
+    data: dataclasses become shallow dicts, containers recurse, and any
+    other leaf (``Var``, ``PhysReg``, ...) is stringified."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The tracer's records as a Trace Event Format event list."""
+    events: list[dict] = []
+    end_ts = 0.0
+    for span in tracer.spans:
+        ts = span.start_ns / 1000.0
+        dur = max(span.duration_ns, 0) / 1000.0
+        end_ts = max(end_ts, ts + dur)
+        events.append({
+            "name": span.name, "cat": _CATEGORY, "ph": "X",
+            "pid": 1, "tid": 1, "ts": ts, "dur": dur,
+            "args": jsonable(span.attrs),
+        })
+    for event in tracer.events:
+        ts = event.ts_ns / 1000.0
+        end_ts = max(end_ts, ts)
+        events.append({
+            "name": event.name, "cat": _CATEGORY, "ph": "i", "s": "t",
+            "pid": 1, "tid": 1, "ts": ts,
+            "args": jsonable(event.attrs),
+        })
+    for name in sorted(tracer.counters):
+        events.append({
+            "name": name, "cat": _CATEGORY, "ph": "C",
+            "pid": 1, "tid": 1, "ts": end_ts,
+            "args": {name: tracer.counters[name]},
+        })
+    return events
+
+
+def chrome_trace_json(tracer: Tracer, indent=None) -> str:
+    """The full Chrome trace document as a JSON string."""
+    document = {"traceEvents": chrome_trace_events(tracer),
+                "displayTimeUnit": "ms"}
+    return json.dumps(document, indent=indent)
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(chrome_trace_json(tracer))
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Human-readable output
+# ----------------------------------------------------------------------
+
+def _ms(ns: int) -> str:
+    return f"{ns / 1e6:.2f}"
+
+
+def phase_table(breakdown: Iterable[dict]) -> str:
+    """Render an :class:`~repro.pipeline.ExperimentResult`'s per-phase
+    breakdown as the time/delta table printed by ``repro experiments``
+    and ``repro compile -v``."""
+    rows = list(breakdown)
+    if not rows:
+        return "(no per-phase stats: run with a tracer installed)"
+    lines = [f"{'phase':<20}{'time(ms)':>10}{'dmoves':>8}"
+             f"{'dinstrs':>9}{'dphis':>7}"]
+    for entry in rows:
+        delta = entry["delta"]
+        lines.append(
+            f"{entry['phase']:<20}{_ms(entry['duration_ns']):>10}"
+            f"{delta['moves']:>+8d}{delta['instructions']:>+9d}"
+            f"{delta['phis']:>+7d}")
+    return "\n".join(lines)
+
+
+def summary(tracer: Tracer, max_counters: int = 40) -> str:
+    """An indented span tree plus counter totals -- the ``-v`` text."""
+    lines = ["spans:"]
+    for span in tracer.spans:
+        state = _ms(span.duration_ns) + " ms" if span.closed else "(open)"
+        lines.append(f"  {'  ' * span.depth}{span.name:<40} {state:>12}")
+    if tracer.counters:
+        lines.append("counters:")
+        for i, name in enumerate(sorted(tracer.counters)):
+            if i == max_counters:
+                lines.append(f"  ... {len(tracer.counters) - i} more")
+                break
+            lines.append(f"  {name:<44} {tracer.counters[name]:>10}")
+    lines.append(f"events: {len(tracer.events)}")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""The structured-stats JSON schema and its validator.
+
+Two document shapes are emitted by the CLI and the benchmark harness
+(see ``docs/observability.md`` for the field-by-field reference):
+
+``repro.stats/v1``
+    One experiment run: totals, the per-phase breakdown (timing plus
+    move/instruction/phi deltas per function), raw per-phase pass
+    statistics, counters, and the event count.  Produced by
+    :meth:`repro.pipeline.ExperimentResult.to_stats`.
+
+``repro.stats-collection/v1``
+    ``{"schema": ..., "runs": [<stats doc>, ...]}`` -- many runs in one
+    file, each optionally annotated with extra context keys such as
+    ``suite`` and ``table``.  Produced by ``repro tables --stats-json``,
+    ``repro experiments --stats-json`` and the benchmark harness.
+
+Validation is hand-rolled (no third-party jsonschema dependency) and
+*permissive about extra keys*: producers may annotate documents freely,
+consumers must get the documented core.  Run as a module to validate a
+file::
+
+    python -m repro.observability.schema stats.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+STATS_SCHEMA = "repro.stats/v1"
+COLLECTION_SCHEMA = "repro.stats-collection/v1"
+
+#: The integer fields of every ``delta`` object.
+DELTA_KEYS = ("instructions", "moves", "phis",
+              "copies_inserted", "copies_removed")
+
+#: The integer fields of every snapshot (``before``/``after``) object.
+SNAPSHOT_KEYS = ("instructions", "moves", "phis")
+
+
+class SchemaError(ValueError):
+    """A stats document does not match the documented schema."""
+
+
+def _expect(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise SchemaError(f"{where}: {message}")
+
+
+def _expect_int(doc: dict, key: str, where: str) -> None:
+    _expect(isinstance(doc.get(key), int) and
+            not isinstance(doc.get(key), bool),
+            where, f"{key!r} must be an integer, got {doc.get(key)!r}")
+
+
+def _validate_measures(doc: Any, keys, where: str) -> None:
+    _expect(isinstance(doc, dict), where, "must be an object")
+    for key in keys:
+        _expect_int(doc, key, where)
+
+
+def _validate_phase(entry: Any, where: str) -> None:
+    _expect(isinstance(entry, dict), where, "must be an object")
+    _expect(isinstance(entry.get("phase"), str), where,
+            "'phase' must be a string")
+    _expect_int(entry, "seq", where)
+    _expect_int(entry, "start_ns", where)
+    _expect_int(entry, "duration_ns", where)
+    _expect(entry["duration_ns"] >= 0, where,
+            "'duration_ns' must be non-negative")
+    _validate_measures(entry.get("delta"), DELTA_KEYS, f"{where}.delta")
+    functions = entry.get("functions")
+    _expect(isinstance(functions, dict), where,
+            "'functions' must be an object")
+    for fname, per_fn in functions.items():
+        fn_where = f"{where}.functions[{fname!r}]"
+        _expect(isinstance(per_fn, dict), fn_where, "must be an object")
+        _validate_measures(per_fn.get("before"), SNAPSHOT_KEYS,
+                           f"{fn_where}.before")
+        _validate_measures(per_fn.get("after"), SNAPSHOT_KEYS,
+                           f"{fn_where}.after")
+        _validate_measures(per_fn.get("delta"), SNAPSHOT_KEYS,
+                           f"{fn_where}.delta")
+
+
+def validate_stats(doc: Any, where: str = "$") -> None:
+    """Validate one document of either schema; raises :class:`SchemaError`
+    on the first problem, returns ``None`` when the document is valid."""
+    _expect(isinstance(doc, dict), where, "document must be an object")
+    schema = doc.get("schema")
+    if schema == COLLECTION_SCHEMA:
+        runs = doc.get("runs")
+        _expect(isinstance(runs, list), where, "'runs' must be a list")
+        for i, run in enumerate(runs):
+            validate_stats(run, f"{where}.runs[{i}]")
+        return
+    _expect(schema == STATS_SCHEMA, where,
+            f"unknown schema {schema!r} (expected {STATS_SCHEMA!r} "
+            f"or {COLLECTION_SCHEMA!r})")
+    _expect(isinstance(doc.get("experiment"), str), where,
+            "'experiment' must be a string")
+    _validate_measures(doc.get("totals"),
+                       ("moves", "weighted", "instructions"),
+                       f"{where}.totals")
+    phases = doc.get("phases")
+    _expect(isinstance(phases, list), where, "'phases' must be a list")
+    for i, entry in enumerate(phases):
+        _validate_phase(entry, f"{where}.phases[{i}]")
+    counters = doc.get("counters")
+    _expect(isinstance(counters, dict), where, "'counters' must be an object")
+    for name, value in counters.items():
+        _expect(isinstance(value, int) and not isinstance(value, bool),
+                f"{where}.counters", f"{name!r} must map to an integer")
+    _expect_int(doc, "events", where)
+
+
+def validate_stats_file(path: str) -> dict:
+    """Load *path* as JSON, validate it and return the document;
+    raises on any problem."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    validate_stats(doc)
+    return doc
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.schema",
+        description="validate a stats JSON file against the documented "
+                    "schema")
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args(argv)
+    for path in args.files:
+        try:
+            validate_stats_file(path)
+        except (OSError, json.JSONDecodeError, SchemaError) as error:
+            print(f"{path}: INVALID: {error}")
+            return 1
+        print(f"{path}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,15 +30,30 @@ from ..analysis.liveness import Liveness
 from ..ir.function import Function
 from ..ir.instructions import Instruction, Operand
 from ..ir.types import Imm, PhysReg, Value
+from ..observability import resolve as _resolve_tracer
 
 
 def aggressive_coalesce(function: Function,
-                        max_rounds: int = 100) -> int:
-    """Coalesce moves until fixpoint; returns copies eliminated."""
+                        max_rounds: int = 100,
+                        tracer=None) -> int:
+    """Coalesce moves until fixpoint; returns copies eliminated.
+
+    ``tracer`` records one ``chaitin.round`` event per fixpoint
+    iteration and the ``chaitin.rounds`` / ``chaitin.copies_removed``
+    counters (the final zero-removal round that proves the fixpoint is
+    counted too).
+    """
+    tracer = _resolve_tracer(tracer)
     eliminated = 0
-    for _ in range(max_rounds):
+    for round_index in range(max_rounds):
         removed = _coalesce_round(function)
         eliminated += removed
+        if tracer.enabled:
+            tracer.count("chaitin.rounds")
+            if removed:
+                tracer.count("chaitin.copies_removed", removed)
+            tracer.event("chaitin.round", function=function.name,
+                         round=round_index, copies_removed=removed)
         if removed == 0:
             break
     return eliminated

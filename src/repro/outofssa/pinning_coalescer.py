@@ -48,6 +48,7 @@ from ..analysis.loops import LoopForest
 from ..ir.cfg import split_critical_edges
 from ..ir.function import Function
 from ..ir.types import PhysReg, Resource, Var
+from ..observability import resolve as _resolve_tracer
 from ..ssa.pinning import resource_of
 from . import affinity
 
@@ -230,7 +231,8 @@ def coalesce_phis(function: Function,
                   literal_weight_update: bool = False,
                   traversal: Traversal = "inner-to-outer",
                   weight_ordered: bool = True,
-                  phys_affinity: bool = True) -> CoalescingStats:
+                  phys_affinity: bool = True,
+                  tracer=None) -> CoalescingStats:
     """Run ``Program_pinning`` on *function* (in place, pins only).
 
     The function must be in SSA form; only operand pins are modified.
@@ -244,11 +246,17 @@ def coalesce_phis(function: Function,
     later aggressive coalescing on call-heavy code -- the approximation
     the paper itself flags as [LIM1].  ``benchmarks/bench_ablations.py``
     quantifies the trade-off.
+
+    ``tracer`` records the individual decisions: ``coalesce.*`` counters
+    mirror every :class:`CoalescingStats` field increment-for-increment
+    (plus ``coalesce.interference_queries``), a ``coalesce.block`` event
+    summarizes each processed block and a ``coalesce.merge`` event each
+    component merge.  See docs/observability.md for the catalogue.
     """
     split_critical_edges(function)
     coalescer = _Coalescer(function, mode, depth_ordered,
                            literal_weight_update, traversal, weight_ordered,
-                           phys_affinity)
+                           phys_affinity, _resolve_tracer(tracer))
     return coalescer.run()
 
 
@@ -256,12 +264,13 @@ class _Coalescer:
     def __init__(self, function: Function, mode: InterferenceMode,
                  depth_ordered: bool, literal_weight_update: bool,
                  traversal: Traversal, weight_ordered: bool,
-                 phys_affinity: bool = True) -> None:
+                 phys_affinity: bool = True, tracer=None) -> None:
         self.function = function
         self.depth_ordered = depth_ordered
         self.literal = literal_weight_update
         self.weight_ordered = weight_ordered
         self.phys_affinity = phys_affinity
+        self.tracer = _resolve_tracer(tracer)
         self.ssa = SSAInterference(function)
         self.rules = KillRules(self.ssa, mode)
         self.pool = ResourcePool(function, self.rules)
@@ -315,7 +324,10 @@ class _Coalescer:
                     continue  # already coalesced: a realized gain
                 key = self._edge_key(dest, arg)
                 edges[key] = edges.get(key, 0) + 1
-        self.stats.affinity_edges += sum(edges.values())
+        built = sum(edges.values())
+        self.stats.affinity_edges += built
+        if built and self.tracer.enabled:
+            self.tracer.count("coalesce.edges_built", built)
         return vertices, edges
 
     def _resource_of_var(self, var: Var) -> Resource:
@@ -330,15 +342,25 @@ class _Coalescer:
     # ------------------------------------------------------------------
     def _interference_predicate(self):
         if self.phys_affinity:
-            return self.pool.interfere
+            base = self.pool.interfere
+        else:
+            def strict(a: Resource, b: Resource) -> bool:
+                if isinstance(self.pool.find(a), PhysReg) \
+                        or isinstance(self.pool.find(b), PhysReg):
+                    return True
+                return self.pool.interfere(a, b)
 
-        def strict(a: Resource, b: Resource) -> bool:
-            if isinstance(self.pool.find(a), PhysReg) \
-                    or isinstance(self.pool.find(b), PhysReg):
-                return True
-            return self.pool.interfere(a, b)
+            base = strict
+        if not self.tracer.enabled:
+            return base
+        add_query = self.tracer.counter("coalesce.interference_queries").add
 
-        return strict
+        def counting(a: Resource, b: Resource,
+                     _base=base, _add=add_query) -> bool:
+            _add()
+            return _base(a, b)
+
+        return counting
 
     def _process_block(self, label: str, depth: Optional[int]) -> None:
         block = self.function.blocks[label]
@@ -348,16 +370,35 @@ class _Coalescer:
         if not edges:
             return
         interfere = self._interference_predicate()
-        self.stats.pruned_initial += affinity.initial_prune(edges, interfere)
-        if not edges:
-            return
-        self.stats.pruned_weighted += affinity.weighted_prune(
-            edges, interfere, literal=self.literal,
-            ordered=self.weight_ordered)
-        self.stats.pruned_safety += affinity.safety_split(edges, interfere)
-        self._merge_components(edges)
+        pruned_initial = affinity.initial_prune(edges, interfere)
+        self.stats.pruned_initial += pruned_initial
+        pruned_weighted = pruned_safety = merged = 0
+        if edges:
+            pruned_weighted = affinity.weighted_prune(
+                edges, interfere, literal=self.literal,
+                ordered=self.weight_ordered)
+            self.stats.pruned_weighted += pruned_weighted
+            pruned_safety = affinity.safety_split(edges, interfere)
+            self.stats.pruned_safety += pruned_safety
+            merged = self._merge_components(edges)
+        tracer = self.tracer
+        if tracer.enabled:
+            if pruned_initial:
+                tracer.count("coalesce.edges_pruned_interference",
+                             pruned_initial)
+            if pruned_weighted:
+                tracer.count("coalesce.edges_pruned_weight", pruned_weighted)
+            if pruned_safety:
+                tracer.count("coalesce.edges_pruned_safety", pruned_safety)
+            tracer.event(
+                "coalesce.block", function=self.function.name, block=label,
+                depth=depth, edges_kept=sum(edges.values()),
+                pruned_interference=pruned_initial,
+                pruned_weight=pruned_weighted, pruned_safety=pruned_safety,
+                components_merged=merged)
 
-    def _merge_components(self, edges: dict) -> None:
+    def _merge_components(self, edges: dict) -> int:
+        merged = 0
         for component in affinity.components(edges):
             members = sorted(component,
                              key=lambda r: (r.__class__.__name__, r.name))
@@ -367,11 +408,20 @@ class _Coalescer:
             for other in members[1:]:
                 rep = self.pool.merge(rep, other)
             self.stats.merged_components += 1
+            merged += 1
+            if self.tracer.enabled:
+                self.tracer.count("coalesce.components_merged")
+                self.tracer.event(
+                    "coalesce.merge", function=self.function.name,
+                    representative=str(rep),
+                    members=[str(m) for m in members])
+        return merged
 
     # ------------------------------------------------------------------
     # PrunedGraph_pinning: apply the pool state as definition pins.
     # ------------------------------------------------------------------
     def _apply_pins(self) -> None:
+        tracer = self.tracer
         for block in self.function.iter_blocks():
             for instr in block.instructions():
                 for op in instr.defs:
@@ -382,6 +432,8 @@ class _Coalescer:
                         if op.pin != rep:
                             op.pin = rep
                             self.stats.pinned_variables += 1
+                            if tracer.enabled:
+                                tracer.count("coalesce.pins_applied")
                     else:
                         op.pin = None
                 for op in instr.uses:
@@ -395,3 +447,5 @@ class _Coalescer:
                     if isinstance(op.value, Var) and \
                             self.pool.find(op.value) == dest:
                         self.stats.gain += 1
+                        if tracer.enabled:
+                            tracer.count("coalesce.gain")

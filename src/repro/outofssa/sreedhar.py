@@ -40,6 +40,7 @@ from ..ir.cfg import split_critical_edges
 from ..ir.function import Function
 from ..ir.instructions import Instruction, Operand, make_copy
 from ..ir.types import Resource, Var
+from ..observability import resolve as _resolve_tracer
 
 
 @dataclass
@@ -103,25 +104,35 @@ class _Classes:
 
 
 def sreedhar_to_cssa(function: Function,
-                     pin_classes: bool = True) -> SreedharStats:
+                     pin_classes: bool = True,
+                     tracer=None) -> SreedharStats:
     """Convert *function* to CSSA in place (Method III).
 
     With ``pin_classes`` (the default, = the paper's ``pinningCSSA``),
     every congruence-class member definition without a physical pin is
     pinned to the class representative, ready for
     :func:`repro.outofssa.leung_george.out_of_pinned_ssa`.
+
+    ``tracer`` records ``sreedhar.*`` counters mirroring every
+    :class:`SreedharStats` field, plus one ``sreedhar.phi`` event per
+    processed phi (operand count, interfering pairs, splits inserted).
     """
     split_critical_edges(function)
-    converter = _Converter(function)
+    tracer = _resolve_tracer(tracer)
+    converter = _Converter(function, tracer)
     stats = converter.run()
     if pin_classes:
         stats.pinned = converter.pin_classes()
+        if tracer.enabled:
+            tracer.count("sreedhar.pinned", stats.pinned)
+            tracer.count("sreedhar.classes", stats.classes)
     return stats
 
 
 class _Converter:
-    def __init__(self, function: Function) -> None:
+    def __init__(self, function: Function, tracer=None) -> None:
         self.function = function
+        self.tracer = _resolve_tracer(tracer)
         self.ssa = SSAInterference(function)
         self.classes = _Classes()
         self.stats = SreedharStats()
@@ -137,6 +148,8 @@ class _Converter:
             for phi in list(block.phis):
                 self._process_phi(label, phi)
                 self.stats.phis_processed += 1
+                if self.tracer.enabled:
+                    self.tracer.count("sreedhar.phis_processed")
         self._apply_edits()
         return self.stats
 
@@ -250,12 +263,19 @@ class _Converter:
         for member in new_members[1:]:
             rep = self.classes.union(rep, member)
         self.phi_members.append((phi, new_members))
+        if self.tracer.enabled:
+            self.tracer.event(
+                "sreedhar.phi", function=self.function.name, block=label,
+                operands=len(operands), interfering_pairs=len(conflicts),
+                splits=len(candidates))
 
     def _split(self, phi: Instruction, label: str, index: int,
                member: _Member) -> _Member:
         """Insert the split copy for one phi operand; return the fresh
         member that replaces it in the phi."""
         self.stats.split_copies += 1
+        if self.tracer.enabled:
+            self.tracer.count("sreedhar.split_copies")
         if index == -1:
             # Split the definition: x0 = phi(...) becomes
             # x'0 = phi(...); x0 = x'0   at the top of the block.

@@ -26,6 +26,7 @@ reference interpreter (``verify=...``).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -35,7 +36,10 @@ from .ir.validate import validate_function
 from .machine.constraints import pinning_abi, pinning_sp
 from .machine.st120 import ST120
 from .machine.target import Target
-from .metrics import count_instructions, count_moves, weighted_moves
+from .metrics import (count_instructions, count_moves, count_phis,
+                      weighted_moves)
+from .observability import NULL_TRACER, STATS_SCHEMA, jsonable
+from .observability import resolve as resolve_tracer
 from .outofssa.chaitin import aggressive_coalesce
 from .outofssa.leung_george import out_of_pinned_ssa
 from .outofssa.naive_abi import naive_abi
@@ -83,9 +87,33 @@ class ExperimentResult:
     weighted: int = 0
     instructions: int = 0
     phase_stats: dict = field(default_factory=dict)
+    #: Per-phase timing + IR-delta entries (``repro.stats/v1`` shape);
+    #: populated only when a recording tracer is installed.
+    phase_breakdown: list = field(default_factory=list)
+    #: The tracer the experiment ran under (NULL_TRACER by default).
+    tracer: object = NULL_TRACER
 
     def row(self) -> tuple:
         return (self.name, self.moves, self.weighted)
+
+    def to_stats(self) -> dict:
+        """This result as a ``repro.stats/v1`` document (see
+        :mod:`repro.observability.schema` and docs/observability.md)."""
+        tracer = self.tracer
+        return {
+            "schema": STATS_SCHEMA,
+            "experiment": self.name,
+            "totals": {"moves": self.moves, "weighted": self.weighted,
+                       "instructions": self.instructions},
+            "phases": [dict(entry) for entry in self.phase_breakdown],
+            "phase_stats": jsonable(self.phase_stats),
+            "counters": dict(tracer.counters) if tracer.enabled else {},
+            "events": len(tracer.events) if tracer.enabled else 0,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The stats document serialized to a JSON string."""
+        return json.dumps(self.to_stats(), indent=indent, sort_keys=False)
 
 
 #: The bullet matrix of paper Table 1: experiment -> active phases.
@@ -127,90 +155,146 @@ def run_experiment(module: Module, name: str,
                    target: Target = ST120,
                    verify: Optional[Sequence[tuple[str, Sequence[int]]]]
                    = None,
-                   validate: bool = True) -> ExperimentResult:
+                   validate: bool = True,
+                   tracer=None) -> ExperimentResult:
     """Run experiment *name* on a fresh copy of *module*.
 
     ``verify`` is an optional list of ``(function_name, args)`` pairs;
     the observable trace of each is compared before and after the whole
-    pipeline, making every experiment self-checking.
+    pipeline, making every experiment self-checking.  ``tracer`` (an
+    :class:`repro.observability.Tracer`) records per-phase spans, IR
+    deltas and decision counters; ``None`` installs the zero-overhead
+    null tracer.
     """
     phases = EXPERIMENTS[name]
     return run_phases(module, name, phases, options, target, verify,
-                      validate)
+                      validate, tracer)
+
+
+def _snapshot(module: Module) -> dict[str, dict[str, int]]:
+    """Per-function IR measures, diffed around every phase when a
+    recording tracer is installed (never called on the null path)."""
+    return {f.name: {"instructions": count_instructions(f),
+                     "moves": count_moves(f),
+                     "phis": count_phis(f)}
+            for f in module.iter_functions()}
+
+
+def _phase_entry(phase: str, span, before: dict, after: dict) -> dict:
+    """One ``phases[]`` entry of the ``repro.stats/v1`` document."""
+    functions = {}
+    totals = {"instructions": 0, "moves": 0, "phis": 0}
+    empty = {"instructions": 0, "moves": 0, "phis": 0}
+    for fname in after:
+        b = before.get(fname, empty)
+        a = after[fname]
+        delta = {key: a[key] - b[key] for key in totals}
+        functions[fname] = {"before": dict(b), "after": dict(a),
+                            "delta": delta}
+        for key in totals:
+            totals[key] += delta[key]
+    moves_delta = totals["moves"]
+    return {
+        "phase": phase,
+        "seq": span.seq,
+        "start_ns": span.start_ns,
+        "duration_ns": span.duration_ns,
+        "delta": {**totals,
+                  # Net split of the move delta: a phase both inserting
+                  # and removing copies reports the net direction only.
+                  "copies_inserted": max(moves_delta, 0),
+                  "copies_removed": max(-moves_delta, 0)},
+        "functions": functions,
+    }
 
 
 def run_phases(module: Module, name: str, phases: Iterable[str],
                options: Optional[PhaseOptions] = None,
                target: Target = ST120,
                verify: Optional[Sequence[tuple[str, Sequence[int]]]] = None,
-               validate: bool = True) -> ExperimentResult:
+               validate: bool = True,
+               tracer=None) -> ExperimentResult:
+    tracer = resolve_tracer(tracer)
     options = options or PhaseOptions()
     work = module.copy()
-    result = ExperimentResult(name=name, module=work)
+    result = ExperimentResult(name=name, module=work, tracer=tracer)
     references = {}
-    if verify:
-        for fn_name, args in verify:
-            references[(fn_name, tuple(args))] = \
-                run_module(module, fn_name, args).observable()
+    with tracer.span(f"experiment:{name}", experiment=name):
+        if verify:
+            with tracer.span("verify:before"):
+                for fn_name, args in verify:
+                    references[(fn_name, tuple(args))] = \
+                        run_module(module, fn_name, args,
+                                   tracer=tracer).observable()
 
-    in_ssa = False
-    for phase in phases:
-        stats = None
-        if phase == "ssa":
-            for function in work.iter_functions():
-                ensure_ssa(function)
-            in_ssa = True
-        elif phase == "copyprop":
-            stats = {f.name: optimize_ssa(f)
-                     for f in work.iter_functions()}
-        elif phase == "pinningSP":
-            stats = {f.name: pinning_sp(f, target)
-                     for f in work.iter_functions()}
-        elif phase == "pinningABI":
-            stats = {f.name: pinning_abi(f, target)
-                     for f in work.iter_functions()}
-        elif phase == "sreedhar":
-            stats = {f.name: sreedhar_to_cssa(f)
-                     for f in work.iter_functions()}
-        elif phase == "pinningPhi":
-            stats = {f.name: coalesce_phis(
-                f, mode=options.mode,
-                depth_ordered=options.depth_ordered,
-                literal_weight_update=options.literal_weight_update,
-                traversal=options.traversal,
-                weight_ordered=options.weight_ordered,
-                phys_affinity=options.phys_affinity)
-                for f in work.iter_functions()}
-        elif phase == "out-of-pinned-ssa":
-            stats = {f.name: out_of_pinned_ssa(f)
-                     for f in work.iter_functions()}
-            in_ssa = False
-        elif phase == "naiveABI":
-            stats = {f.name: naive_abi(f, target)
-                     for f in work.iter_functions()}
-        elif phase == "coalescing":
-            stats = {f.name: aggressive_coalesce(f)
-                     for f in work.iter_functions()}
-        else:
-            raise ValueError(f"unknown phase {phase!r}")
-        if stats is not None:
-            result.phase_stats[phase] = stats
-        if validate:
-            for function in work.iter_functions():
-                validate_function(function, ssa=in_ssa,
-                                  allow_phis=in_ssa)
+        in_ssa = False
+        for phase in phases:
+            before = _snapshot(work) if tracer.enabled else None
+            with tracer.span(f"phase:{phase}", phase=phase) as span:
+                stats = None
+                if phase == "ssa":
+                    for function in work.iter_functions():
+                        ensure_ssa(function)
+                    in_ssa = True
+                elif phase == "copyprop":
+                    stats = {f.name: optimize_ssa(f)
+                             for f in work.iter_functions()}
+                elif phase == "pinningSP":
+                    stats = {f.name: pinning_sp(f, target)
+                             for f in work.iter_functions()}
+                elif phase == "pinningABI":
+                    stats = {f.name: pinning_abi(f, target)
+                             for f in work.iter_functions()}
+                elif phase == "sreedhar":
+                    stats = {f.name: sreedhar_to_cssa(f, tracer=tracer)
+                             for f in work.iter_functions()}
+                elif phase == "pinningPhi":
+                    stats = {f.name: coalesce_phis(
+                        f, mode=options.mode,
+                        depth_ordered=options.depth_ordered,
+                        literal_weight_update=options.literal_weight_update,
+                        traversal=options.traversal,
+                        weight_ordered=options.weight_ordered,
+                        phys_affinity=options.phys_affinity,
+                        tracer=tracer)
+                        for f in work.iter_functions()}
+                elif phase == "out-of-pinned-ssa":
+                    stats = {f.name: out_of_pinned_ssa(f)
+                             for f in work.iter_functions()}
+                    in_ssa = False
+                elif phase == "naiveABI":
+                    stats = {f.name: naive_abi(f, target)
+                             for f in work.iter_functions()}
+                elif phase == "coalescing":
+                    stats = {f.name: aggressive_coalesce(f, tracer=tracer)
+                             for f in work.iter_functions()}
+                else:
+                    raise ValueError(f"unknown phase {phase!r}")
+            if stats is not None:
+                result.phase_stats[phase] = stats
+            if tracer.enabled:
+                result.phase_breakdown.append(
+                    _phase_entry(phase, span, before, _snapshot(work)))
+            if validate:
+                with tracer.span(f"validate:{phase}"):
+                    for function in work.iter_functions():
+                        validate_function(function, ssa=in_ssa,
+                                          allow_phis=in_ssa)
 
-    for key, reference in references.items():
-        fn_name, args = key
-        after = run_module(work, fn_name, args).observable()
-        if after != reference:
-            raise AssertionError(
-                f"{name}: {fn_name}{tuple(args)} changed behaviour: "
-                f"{reference} -> {after}")
+        if references:
+            with tracer.span("verify:after"):
+                for key, reference in references.items():
+                    fn_name, args = key
+                    after = run_module(work, fn_name, args,
+                                       tracer=tracer).observable()
+                    if after != reference:
+                        raise AssertionError(
+                            f"{name}: {fn_name}{tuple(args)} changed "
+                            f"behaviour: {reference} -> {after}")
 
-    result.moves = count_moves(work)
-    result.weighted = weighted_moves(work)
-    result.instructions = count_instructions(work)
+        result.moves = count_moves(work)
+        result.weighted = weighted_moves(work)
+        result.instructions = count_instructions(work)
     return result
 
 

@@ -7,8 +7,8 @@ the approximation can be *checked*: run the program on its verify
 inputs, count how often each block actually executes, and weight moves
 by measured frequency.
 
-:func:`profile_blocks` instruments nothing — the interpreter is
-re-driven through an execution-counting shim — so the program under
+:func:`profile_blocks` instruments nothing — the interpreter fires its
+``on_block`` event hook once per executed block — so the program under
 measurement is byte-identical to the one the pipeline produced.
 """
 
@@ -17,47 +17,26 @@ from __future__ import annotations
 from typing import Sequence
 
 from .interp.interpreter import Interpreter
-from .ir.function import Function, Module
-
-
-class _CountingInterpreter(Interpreter):
-    """An interpreter that counts block entries per function."""
-
-    def __init__(self, module: Module, max_steps: int = 2_000_000) -> None:
-        super().__init__(module, max_steps)
-        self.block_counts: dict[tuple[str, str], int] = {}
-
-    def _call(self, function: Function, args: list[int],
-              depth: int) -> list[int]:
-        # Wrap block dispatch by shadowing the frame's block attribute
-        # through a counting subclass of the loop: simplest is to
-        # re-implement the dispatch loop's counting via __setattr__ on
-        # the frame -- instead we override at the only place the block
-        # label changes: here, by running the parent loop with a
-        # monkeypatched Frame. To stay simple and robust we count in
-        # _branch and on entry.
-        key = (function.name, function.entry)
-        self.block_counts[key] = self.block_counts.get(key, 0) + 1
-        self._current_function = function.name
-        return super()._call(function, args, depth)
-
-    def _branch(self, frame, instr):
-        target = super()._branch(frame, instr)
-        key = (frame.function.name, target)
-        self.block_counts[key] = self.block_counts.get(key, 0) + 1
-        return target
+from .ir.function import Module
 
 
 def profile_blocks(module: Module,
                    runs: Sequence[tuple[str, Sequence[int]]],
                    ) -> dict[tuple[str, str], int]:
-    """Execution count of every (function, block) over *runs*."""
+    """Execution count of every (function, block) over *runs*.
+
+    Every block execution — function entry included — reaches the
+    interpreter's ``on_block`` hook exactly once, so no de-duplication
+    between call entries and branch targets is needed.
+    """
     counts: dict[tuple[str, str], int] = {}
+
+    def bump(fn_name: str, label: str) -> None:
+        key = (fn_name, label)
+        counts[key] = counts.get(key, 0) + 1
+
     for fn_name, args in runs:
-        interp = _CountingInterpreter(module)
-        interp.run(fn_name, list(args))
-        for key, value in interp.block_counts.items():
-            counts[key] = counts.get(key, 0) + value
+        Interpreter(module, on_block=bump).run(fn_name, list(args))
     return counts
 
 

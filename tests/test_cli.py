@@ -1,8 +1,11 @@
 """Command-line interface tests (driving main() directly)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.observability import validate_stats, validate_stats_file
 
 
 @pytest.fixture
@@ -98,3 +101,75 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert "Lphi,ABI+C" in out
         assert "naiveABI+C" in out
+
+
+class TestCompileObservability:
+    def test_trace_and_stats_files(self, lai_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        stats = str(tmp_path / "s.json")
+        assert main(["compile", lai_file, "--trace", trace,
+                     "--stats-json", stats, "--verify", "main", "4"]) == 0
+        document = json.load(open(trace))
+        phases = {e["name"] for e in document["traceEvents"]
+                  if e["ph"] == "X" and e["name"].startswith("phase:")}
+        from repro.pipeline import EXPERIMENTS
+        assert phases == {f"phase:{p}" for p in EXPERIMENTS["Lphi,ABI+C"]}
+        doc = validate_stats_file(stats)
+        assert doc["experiment"] == "Lphi,ABI+C"
+        assert [e["phase"] for e in doc["phases"]] == \
+            list(EXPERIMENTS["Lphi,ABI+C"])
+        assert doc["counters"]["interp.runs"] == 2  # before + after verify
+
+    def test_verbose_summary_on_stderr(self, lai_file, capsys):
+        assert main(["compile", lai_file, "-v"]) == 0
+        err = capsys.readouterr().err
+        assert "phase:coalescing" in err
+        assert "dmoves" in err
+        assert "counters:" in err
+
+    def test_no_flags_no_files(self, lai_file, tmp_path, capsys):
+        # Without observability flags compile must not create any files.
+        assert main(["compile", lai_file]) == 0
+        assert [p.name for p in tmp_path.iterdir()] == ["prog.lai"]
+
+
+class TestExperimentsObservability:
+    def test_format_json_stdout(self, lai_file, capsys):
+        assert main(["experiments", lai_file, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_stats(doc)
+        from repro.pipeline import EXPERIMENTS
+        assert {run["experiment"] for run in doc["runs"]} == \
+            set(EXPERIMENTS)
+        for run in doc["runs"]:
+            assert run["phases"], run["experiment"]
+
+    def test_table_format_includes_breakdown(self, lai_file, capsys):
+        assert main(["experiments", lai_file]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase breakdown" in out
+        assert "dmoves" in out
+
+    def test_stats_json_file(self, lai_file, tmp_path, capsys):
+        stats = str(tmp_path / "runs.json")
+        assert main(["experiments", lai_file, "--stats-json", stats]) == 0
+        doc = validate_stats_file(stats)
+        assert len(doc["runs"]) == len(set(
+            run["experiment"] for run in doc["runs"]))
+
+    def test_stats_json_written_before_stdout(self, lai_file, tmp_path,
+                                              monkeypatch):
+        """The stats file must exist even if stdout dies (pipe safety)."""
+        import repro.cli as cli_mod
+
+        stats = tmp_path / "runs.json"
+
+        def broken_print(*args, **kwargs):
+            raise BrokenPipeError
+
+        monkeypatch.setattr(cli_mod, "print", broken_print, raising=False)
+        with pytest.raises(BrokenPipeError):
+            main(["experiments", lai_file, "--format", "json",
+                  "--stats-json", str(stats)])
+        assert stats.exists()
+        validate_stats_file(str(stats))

@@ -1,0 +1,405 @@
+"""Observability layer: tracer core, exporters, pipeline integration,
+decision-event consistency, schema validation, null-tracer zero-cost."""
+
+import json
+
+import pytest
+
+import repro.pipeline as pipeline_mod
+from repro.benchgen.figures import ALL_FIGURES
+from repro.interp.interpreter import Interpreter
+from repro.observability import (NULL_TRACER, SchemaError, Tracer,
+                                 chrome_trace_json, phase_table, resolve,
+                                 summary, validate_stats)
+from repro.pipeline import EXPERIMENTS, run_experiment
+from repro.profile import profile_blocks
+
+from helpers import module_of
+
+LOOPY = """
+func main
+entry:
+    input n
+    make s, 0
+    make i, 0
+    br head
+head:
+    cmplt c, i, n
+    cbr c, body, exit
+body:
+    copy t, s
+    add s, t, i
+    add i, i, 1
+    br head
+exit:
+    copy r, s
+    ret r
+endfunc
+"""
+
+
+class TestTracerCore:
+    def test_span_nesting_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert outer.depth == 0 and outer.parent is None
+        assert inner.depth == 1 and inner.parent == outer.seq
+        assert sibling.depth == 1 and sibling.parent == outer.seq
+        assert [s.name for s in tracer.spans] == ["outer", "inner",
+                                                  "sibling"]
+        assert all(s.closed for s in tracer.spans)
+        assert outer.duration_ns >= inner.duration_ns >= 0
+
+    def test_children_helper(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.children(outer)] == ["a", "b"]
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError):
+            outer.__exit__(None, None, None)
+
+    def test_events_share_monotonic_order_with_spans(self):
+        tracer = Tracer()
+        tracer.event("before")
+        with tracer.span("work") as span:
+            inside = tracer.event("inside", detail=1)
+        after = tracer.event("after")
+        seqs = [tracer.events[0].seq, span.seq, inside.seq, after.seq]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        assert inside.span == span.seq
+        assert after.span is None
+        assert inside.attrs == {"detail": 1}
+
+    def test_counter_accumulation(self):
+        tracer = Tracer()
+        tracer.count("x")
+        tracer.count("x", 4)
+        bound = tracer.counter("y")
+        bound.add()
+        bound.add(2)
+        assert tracer.counters == {"x": 5, "y": 3}
+
+    def test_events_in(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            tracer.event("e1")
+        tracer.event("e2")
+        assert [e.name for e in tracer.events_in(span)] == ["e1"]
+
+
+class TestNullTracer:
+    def test_null_tracer_is_noop(self):
+        with NULL_TRACER.span("anything", attr=1) as record:
+            assert record is None
+        NULL_TRACER.event("whatever", x=2)
+        NULL_TRACER.count("c", 10)
+        NULL_TRACER.counter("c").add(5)
+        assert not NULL_TRACER.enabled
+        assert not hasattr(NULL_TRACER, "counters")
+
+    def test_resolve(self):
+        assert resolve(None) is NULL_TRACER
+        tracer = Tracer()
+        assert resolve(tracer) is tracer
+
+    def test_default_run_skips_snapshots_entirely(self, monkeypatch):
+        """Structural zero-overhead: without a tracer, run_phases never
+        touches the per-phase snapshot machinery."""
+        def boom(module):
+            raise AssertionError("_snapshot called on the null path")
+
+        monkeypatch.setattr(pipeline_mod, "_snapshot", boom)
+        module = module_of(LOOPY)
+        result = run_experiment(module, "Lphi,ABI+C")
+        assert result.phase_breakdown == []
+        assert result.tracer is NULL_TRACER
+
+    def test_traced_run_uses_snapshots(self):
+        module = module_of(LOOPY)
+        result = run_experiment(module, "Lphi,ABI+C", tracer=Tracer())
+        assert result.phase_breakdown
+
+
+class TestChromeExport:
+    def _trace(self):
+        tracer = Tracer()
+        module = module_of(LOOPY)
+        run_experiment(module, "Lphi,ABI+C", verify=[("main", [4])],
+                       tracer=tracer)
+        return tracer
+
+    def test_round_trip_fields(self):
+        tracer = self._trace()
+        document = json.loads(chrome_trace_json(tracer))
+        events = document["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert complete and counters
+        for event in complete:
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 1 and event["tid"] == 1
+        names = {e["name"] for e in complete}
+        assert "experiment:Lphi,ABI+C" in names
+        assert "phase:pinningPhi" in names
+        assert "interp:main" in names
+        assert {e["name"] for e in instants} >= {"coalesce.block"}
+        counter_names = {e["name"] for e in counters}
+        assert "interp.steps" in counter_names
+        for event in counters:
+            assert event["args"] == {event["name"]:
+                                     tracer.counters[event["name"]]}
+
+    def test_span_attrs_are_jsonable(self):
+        tracer = self._trace()
+        # Must not raise even with IR objects in event attrs.
+        json.loads(chrome_trace_json(tracer, indent=1))
+
+
+class TestPhaseBreakdown:
+    def test_every_phase_present_with_timing_and_deltas(self):
+        module = module_of(LOOPY)
+        name = "Lphi,ABI+C"
+        result = run_experiment(module, name, tracer=Tracer())
+        assert [e["phase"] for e in result.phase_breakdown] == \
+            list(EXPERIMENTS[name])
+        for entry in result.phase_breakdown:
+            assert entry["duration_ns"] >= 0
+            for key in ("instructions", "moves", "phis",
+                        "copies_inserted", "copies_removed"):
+                assert isinstance(entry["delta"][key], int)
+            assert "main" in entry["functions"]
+
+    def test_deltas_telescope_to_totals(self):
+        module = module_of(LOOPY)
+        result = run_experiment(module, "Lphi,ABI+C", tracer=Tracer())
+        first = result.phase_breakdown[0]
+        last = result.phase_breakdown[-1]
+        summed = sum(e["delta"]["instructions"]
+                     for e in result.phase_breakdown)
+        initial = sum(f["before"]["instructions"]
+                      for f in first["functions"].values())
+        final = sum(f["after"]["instructions"]
+                    for f in last["functions"].values())
+        assert initial + summed == final
+        assert final == result.instructions
+        moves_summed = sum(e["delta"]["moves"]
+                           for e in result.phase_breakdown)
+        initial_moves = sum(f["before"]["moves"]
+                            for f in first["functions"].values())
+        assert initial_moves + moves_summed == result.moves
+
+    def test_stats_deterministic_across_identical_runs(self):
+        module = module_of(LOOPY)
+
+        def strip_timing(result):
+            return [
+                {"phase": e["phase"], "delta": e["delta"],
+                 "functions": e["functions"]}
+                for e in result.phase_breakdown]
+
+        one = run_experiment(module, "Lphi,ABI+C", verify=[("main", [5])],
+                             tracer=Tracer())
+        two = run_experiment(module, "Lphi,ABI+C", verify=[("main", [5])],
+                             tracer=Tracer())
+        assert strip_timing(one) == strip_timing(two)
+        assert one.tracer.counters == two.tracer.counters
+        assert len(one.tracer.events) == len(two.tracer.events)
+        assert one.phase_stats == two.phase_stats
+
+    def test_phase_table_renders(self):
+        module = module_of(LOOPY)
+        result = run_experiment(module, "Lphi,ABI+C", tracer=Tracer())
+        text = phase_table(result.phase_breakdown)
+        assert "pinningPhi" in text and "dmoves" in text
+        assert phase_table([]).startswith("(no per-phase stats")
+
+    def test_summary_renders(self):
+        tracer = Tracer()
+        run_experiment(module_of(LOOPY), "Lphi,ABI+C", tracer=tracer)
+        text = summary(tracer)
+        assert "phase:coalescing" in text
+        assert "counters:" in text
+
+
+class TestStatsDocument:
+    def test_to_stats_validates_and_round_trips(self):
+        module = module_of(LOOPY)
+        result = run_experiment(module, "Lphi,ABI+C", tracer=Tracer())
+        doc = result.to_stats()
+        validate_stats(doc)
+        assert json.loads(result.to_json()) == doc
+        assert doc["totals"]["moves"] == result.moves
+        assert doc["counters"] == result.tracer.counters
+        assert doc["phase_stats"]["pinningPhi"]["main"]["gain"] >= 0
+
+    def test_null_tracer_doc_still_validates(self):
+        module = module_of(LOOPY)
+        result = run_experiment(module, "C")
+        doc = result.to_stats()
+        validate_stats(doc)
+        assert doc["phases"] == [] and doc["counters"] == {}
+
+    def test_validator_rejects_bad_documents(self):
+        module = module_of(LOOPY)
+        doc = run_experiment(module, "C", tracer=Tracer()).to_stats()
+        validate_stats(doc)
+        for mutate in (
+                lambda d: d.pop("schema"),
+                lambda d: d.__setitem__("schema", "repro.stats/v0"),
+                lambda d: d["totals"].__setitem__("moves", "1"),
+                lambda d: d["phases"][0]["delta"].pop("moves"),
+                lambda d: d["phases"][0].__setitem__("duration_ns", -1),
+                lambda d: d["counters"].__setitem__("x", True),
+                lambda d: d.pop("events"),
+        ):
+            bad = json.loads(json.dumps(doc))
+            mutate(bad)
+            with pytest.raises(SchemaError):
+                validate_stats(bad)
+
+    def test_collection_document(self):
+        module = module_of(LOOPY)
+        runs = [run_experiment(module, n, tracer=Tracer()).to_stats()
+                for n in ("C", "Lphi+C")]
+        validate_stats({"schema": "repro.stats-collection/v1",
+                        "runs": runs})
+        with pytest.raises(SchemaError):
+            validate_stats({"schema": "repro.stats-collection/v1",
+                            "runs": runs + [{"schema": "nope"}]})
+
+
+class TestCoalescerDecisionEvents:
+    """Acceptance: coalesce_phis decision events/counters agree with the
+    returned phase stats on the paper's figure examples."""
+
+    @pytest.mark.parametrize("figure", sorted(ALL_FIGURES))
+    def test_counters_match_stats(self, figure):
+        module, verify = ALL_FIGURES[figure]()
+        tracer = Tracer()
+        result = run_experiment(module, "Lphi,ABI+C", verify=verify,
+                                tracer=tracer)
+        stats = result.phase_stats["pinningPhi"]
+        totals = {
+            "coalesce.edges_built":
+                sum(s.affinity_edges for s in stats.values()),
+            "coalesce.edges_pruned_interference":
+                sum(s.pruned_initial for s in stats.values()),
+            "coalesce.edges_pruned_weight":
+                sum(s.pruned_weighted for s in stats.values()),
+            "coalesce.edges_pruned_safety":
+                sum(s.pruned_safety for s in stats.values()),
+            "coalesce.components_merged":
+                sum(s.merged_components for s in stats.values()),
+            "coalesce.pins_applied":
+                sum(s.pinned_variables for s in stats.values()),
+            "coalesce.gain": sum(s.gain for s in stats.values()),
+        }
+        for name, expected in totals.items():
+            assert tracer.counters.get(name, 0) == expected, name
+
+    def test_block_events_sum_to_counters(self):
+        module, verify = ALL_FIGURES["fig8"]()
+        tracer = Tracer()
+        run_experiment(module, "Lphi,ABI+C", verify=verify, tracer=tracer)
+        blocks = [e for e in tracer.events if e.name == "coalesce.block"]
+        assert blocks, "expected per-block decision events"
+        assert sum(e.attrs["pruned_interference"] for e in blocks) == \
+            tracer.counters.get("coalesce.edges_pruned_interference", 0)
+        assert sum(e.attrs["components_merged"] for e in blocks) == \
+            tracer.counters.get("coalesce.components_merged", 0)
+        merges = [e for e in tracer.events if e.name == "coalesce.merge"]
+        assert len(merges) == \
+            tracer.counters.get("coalesce.components_merged", 0)
+
+    def test_interference_queries_counted(self):
+        module, verify = ALL_FIGURES["fig8"]()
+        tracer = Tracer()
+        run_experiment(module, "Lphi,ABI+C", verify=verify, tracer=tracer)
+        assert tracer.counters.get("coalesce.interference_queries", 0) > 0
+
+
+class TestSreedharAndChaitinEvents:
+    def test_sreedhar_counters_match_stats(self):
+        module, verify = ALL_FIGURES["fig10"]()
+        tracer = Tracer()
+        result = run_experiment(module, "Sphi+C", verify=verify,
+                                tracer=tracer)
+        stats = result.phase_stats["sreedhar"]
+        assert tracer.counters.get("sreedhar.phis_processed", 0) == \
+            sum(s.phis_processed for s in stats.values())
+        assert tracer.counters.get("sreedhar.split_copies", 0) == \
+            sum(s.split_copies for s in stats.values())
+        assert tracer.counters.get("sreedhar.pinned", 0) == \
+            sum(s.pinned for s in stats.values())
+        phi_events = [e for e in tracer.events if e.name == "sreedhar.phi"]
+        assert len(phi_events) == \
+            tracer.counters.get("sreedhar.phis_processed", 0)
+        assert sum(e.attrs["splits"] for e in phi_events) == \
+            tracer.counters.get("sreedhar.split_copies", 0)
+
+    def test_chaitin_round_events(self):
+        module = module_of(LOOPY)
+        tracer = Tracer()
+        result = run_experiment(module, "C", tracer=tracer)
+        rounds = [e for e in tracer.events if e.name == "chaitin.round"]
+        assert rounds
+        assert tracer.counters.get("chaitin.rounds", 0) == len(rounds)
+        assert sum(e.attrs["copies_removed"] for e in rounds) == \
+            sum(result.phase_stats["coalescing"].values())
+        assert rounds[-1].attrs["copies_removed"] == 0  # fixpoint proof
+
+
+class TestInterpreterHooks:
+    def test_on_block_fires_once_per_block_execution(self):
+        module = module_of(LOOPY)
+        seen = []
+        Interpreter(module, on_block=lambda fn, label:
+                    seen.append((fn, label))).run("main", [2])
+        assert seen.count(("main", "entry")) == 1
+        assert seen.count(("main", "head")) == 3
+        assert seen.count(("main", "body")) == 2
+        assert seen.count(("main", "exit")) == 1
+
+    def test_tracer_counts_and_span(self):
+        module = module_of(LOOPY)
+        tracer = Tracer()
+        trace = Interpreter(module, tracer=tracer).run("main", [2])
+        assert tracer.counters["interp.runs"] == 1
+        assert tracer.counters["interp.steps"] == trace.steps
+        # entry once, head 3x, body 2x, exit once
+        assert tracer.counters["interp.block_entries"] == 7
+        assert tracer.spans[0].name == "interp:main"
+
+    def test_tracer_and_hook_compose(self):
+        module = module_of(LOOPY)
+        tracer = Tracer()
+        counted = []
+        Interpreter(module, on_block=lambda fn, label: counted.append(label),
+                    tracer=tracer).run("main", [1])
+        assert len(counted) == tracer.counters["interp.block_entries"]
+
+    def test_profile_blocks_unified_on_hook(self):
+        module = module_of(LOOPY)
+        counts = profile_blocks(module, [("main", [4])])
+        assert counts[("main", "entry")] == 1
+        assert counts[("main", "head")] == 5
+        assert counts[("main", "body")] == 4
+        assert counts[("main", "exit")] == 1
