@@ -1,0 +1,70 @@
+"""Fold a pytest-benchmark JSON run into BENCH_compile_time.json.
+
+Used by the CI ``bench-smoke`` job: reads the ``test_time_ours``
+measurements from a ``--benchmark-json`` file, rewrites the ``new_s``
+and ``speedup`` fields of the committed summary (keeping the committed
+``baseline_s`` reference numbers), and fails loudly when a suite
+regressed below the committed baseline -- a cheap smoke guard, not a
+calibrated benchmark (CI runners are noisy; the committed numbers come
+from interleaved same-machine runs, see the ``method`` field).
+
+Usage::
+
+    python benchmarks/summarize_compile_time.py <pytest-bench.json> \
+        [BENCH_compile_time.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def extract_ours(bench_doc: dict) -> dict[str, float]:
+    """``suite name -> min seconds`` for the test_time_ours benchmarks."""
+    out: dict[str, float] = {}
+    for entry in bench_doc.get("benchmarks", []):
+        if "test_time_ours" not in entry.get("name", ""):
+            continue
+        suite = (entry.get("params") or {}).get("suite_name")
+        if suite:
+            out[suite] = entry["stats"]["min"]
+    return out
+
+
+def main(argv: list[str]) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__)
+        return 2
+    bench_path = argv[1]
+    summary_path = argv[2] if len(argv) == 3 else "BENCH_compile_time.json"
+    with open(bench_path) as handle:
+        measured = extract_ours(json.load(handle))
+    if not measured:
+        print(f"{bench_path}: no test_time_ours entries found")
+        return 1
+    with open(summary_path) as handle:
+        summary = json.load(handle)
+    regressions = []
+    for suite, row in summary["suites"].items():
+        if suite not in measured:
+            continue
+        row["new_s"] = round(measured[suite], 4)
+        row["speedup"] = round(row["baseline_s"] / row["new_s"], 2)
+        if row["new_s"] > row["baseline_s"]:
+            regressions.append(suite)
+    with open(summary_path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    for suite, row in summary["suites"].items():
+        print(f"{suite}: {row['new_s']}s vs baseline "
+              f"{row['baseline_s']}s ({row['speedup']}x)")
+    if regressions:
+        print(f"slower than the committed baseline on: "
+              f"{', '.join(regressions)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

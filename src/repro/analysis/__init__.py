@@ -1,12 +1,17 @@
-"""Program analyses: dominance, loops, liveness, def-use, interference."""
+"""Program analyses: dominance, loops, liveness, def-use, interference,
+and the shared :class:`AnalysisManager` cache the pipeline hands to
+every pass."""
 
+from .bitset import BitSetView, VarIndex
 from .defuse import DefSite, DefUse, UseSite
 from .dominance import DominatorTree
 from .interference import (InterferenceGraph, InterferenceMode, KillRules,
                            SSAInterference)
 from .liveness import Liveness
 from .loops import Loop, LoopForest
+from .manager import AnalysisManager
 
-__all__ = ["DefSite", "DefUse", "UseSite", "DominatorTree",
+__all__ = ["AnalysisManager", "BitSetView", "VarIndex",
+           "DefSite", "DefUse", "UseSite", "DominatorTree",
            "InterferenceGraph", "InterferenceMode", "KillRules",
            "SSAInterference", "Liveness", "Loop", "LoopForest"]

@@ -1,0 +1,148 @@
+"""Dense value numbering and bitset views -- the liveness substrate.
+
+The paper's compile-time argument ([CC3]) only holds when liveness and
+interference queries are cheap.  Python ``set`` objects make every
+per-point live set an O(live) allocation; this module replaces them with
+*machine-word bitsets* (arbitrary-precision ints used as bitmasks) over
+a dense per-function numbering of values:
+
+* :class:`VarIndex` -- assigns each :class:`~repro.ir.types.Var` /
+  :class:`~repro.ir.types.PhysReg` occurring in a function a stable
+  small integer, in deterministic first-occurrence order;
+* :class:`BitSetView` -- an immutable, read-only :class:`Set` facade
+  over ``(mask, index)`` so every call site written against the old
+  set-based API (membership, iteration, ``|``/``-``/``==`` against
+  plain sets) keeps working unchanged while the analyses compute with
+  single int operations.
+
+Set algebra on masks is delegated to the CPython big-int kernel
+(``&``, ``|``, ``& ~``), which is one C call per *block-level* operation
+instead of one hash probe per *element* -- the representational change
+that makes the dataflow fixpoint, the per-point ``is_live_after`` test
+and the Chaitin adjacency cheap enough for the experiment matrix to
+scale (see docs/performance.md for measurements).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set
+from typing import Iterable, Iterator, Optional
+
+from ..ir.function import Function
+from ..ir.types import PhysReg, Value, Var
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of *mask* in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class VarIndex:
+    """Dense ``Value <-> bit position`` numbering for one function.
+
+    Built by scanning operands in layout order (phis first, then the
+    body, block by block), so the numbering -- and therefore every
+    :class:`BitSetView` iteration order -- is deterministic and
+    independent of hash seeds.  Values first seen *after* construction
+    (fresh temporaries, explicit graph nodes) are appended on demand via
+    :meth:`ensure`.
+    """
+
+    __slots__ = ("_index", "_values")
+
+    def __init__(self, function: Optional[Function] = None) -> None:
+        self._index: dict[Value, int] = {}
+        self._values: list[Value] = []
+        if function is not None:
+            for block in function.iter_blocks():
+                for instr in block.instructions():
+                    for op in instr.operands():
+                        value = op.value
+                        if isinstance(value, (Var, PhysReg)) \
+                                and value not in self._index:
+                            self._index[value] = len(self._values)
+                            self._values.append(value)
+
+    # ------------------------------------------------------------------
+    def ensure(self, value: Value) -> int:
+        """Index of *value*, assigning the next free bit if unseen."""
+        slot = self._index.get(value)
+        if slot is None:
+            slot = len(self._values)
+            self._index[value] = slot
+            self._values.append(value)
+        return slot
+
+    def get(self, value: Value) -> Optional[int]:
+        """Index of *value*, or ``None`` when it was never numbered."""
+        return self._index.get(value)
+
+    def bit(self, value: Value) -> int:
+        """``1 << index`` of *value* (assigning an index if unseen)."""
+        return 1 << self.ensure(value)
+
+    def value(self, position: int) -> Value:
+        return self._values[position]
+
+    def mask_of(self, values: Iterable[Value]) -> int:
+        """Bitmask with the bit of every value in *values* set."""
+        mask = 0
+        for value in values:
+            mask |= 1 << self.ensure(value)
+        return mask
+
+    def values_of(self, mask: int) -> Iterator[Value]:
+        values = self._values
+        for position in iter_bits(mask):
+            yield values[position]
+
+    def view(self, mask: int) -> "BitSetView":
+        return BitSetView(mask, self)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._index
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._values)
+
+
+class BitSetView(Set):
+    """Immutable set-of-values facade over an int mask.
+
+    Implements the three :class:`collections.abc.Set` primitives
+    (membership is one shift-and-test, no per-element hashing), which
+    buys the whole set API -- ``==``, ``<=``, ``|``, ``&``, ``-``,
+    ``^``, ``isdisjoint`` -- including mixed comparisons with built-in
+    ``set`` objects, so existing call sites and tests need no changes.
+    Results of binary operators are plain ``set`` objects
+    (:meth:`_from_iterable`), keeping mutation out of the view type.
+    """
+
+    __slots__ = ("mask", "_index")
+
+    def __init__(self, mask: int, index: VarIndex) -> None:
+        self.mask = mask
+        self._index = index
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable) -> set:
+        return set(iterable)
+
+    def __contains__(self, value: object) -> bool:
+        position = self._index.get(value)  # type: ignore[arg-type]
+        return position is not None and (self.mask >> position) & 1 == 1
+
+    def __iter__(self) -> Iterator[Value]:
+        return self._index.values_of(self.mask)
+
+    def __len__(self) -> int:
+        return self.mask.bit_count()
+
+    def __repr__(self) -> str:
+        return f"{{{', '.join(sorted(str(v) for v in self))}}}"

@@ -41,6 +41,9 @@ class DominatorTree:
         self._compute_idoms()
         self._depth: dict[str, int] = {}
         self._compute_depths()
+        self._tin: dict[str, int] = {}
+        self._tout: dict[str, int] = {}
+        self._compute_intervals()
         self._frontiers: Optional[dict[str, set[str]]] = None
 
     # ------------------------------------------------------------------
@@ -84,14 +87,43 @@ class DominatorTree:
             self._depth[label] = 0 if parent is None else \
                 self._depth[parent] + 1
 
+    def _compute_intervals(self) -> None:
+        """DFS entry/exit numbering of the dominator tree.
+
+        ``a`` dominates ``b`` iff ``tin[a] <= tin[b] <= tout[a]`` -- two
+        integer comparisons instead of walking the idom chain, which is
+        what makes the paper's Class 1 test (and every ``def_dominates``
+        call in the kill rules) O(1).
+        """
+        clock = 0
+        tin, tout = self._tin, self._tout
+        stack: list[tuple[str, bool]] = [(self.order[0], False)]
+        while stack:
+            label, leaving = stack.pop()
+            if leaving:
+                tout[label] = clock
+                continue
+            clock += 1
+            tin[label] = clock
+            stack.append((label, True))
+            stack.extend((child, False)
+                         for child in reversed(self.children[label]))
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def dominates(self, a: str, b: str) -> bool:
-        """True when block *a* dominates block *b* (reflexive)."""
-        while b is not None and self._depth.get(b, -1) > self._depth.get(a, -1):
-            b = self.idom[b]  # type: ignore[assignment]
-        return a == b
+        """True when block *a* dominates block *b* (reflexive).
+
+        Unreachable/unknown labels dominate nothing but themselves,
+        matching the idom-chain fallback behaviour.
+        """
+        tin = self._tin
+        tin_a = tin.get(a)
+        tin_b = tin.get(b)
+        if tin_a is None or tin_b is None:
+            return a == b
+        return tin_a <= tin_b <= self._tout[a]
 
     def strictly_dominates(self, a: str, b: str) -> bool:
         return a != b and self.dominates(a, b)

@@ -12,14 +12,22 @@ Three layers live here because they share the same liveness substrate:
 3. :class:`InterferenceGraph` -- an explicit graph for non-SSA programs,
    with the move special-case (a copy's destination does not interfere
    with its source) used by the aggressive coalescer.
+
+All three compute on the int-bitmask substrate of
+:mod:`repro.analysis.bitset` (sharing the :class:`Liveness` value
+numbering): the kill tests reduce to bit probes, a phi's Class 2 kill
+set becomes one precomputed mask per phi definition, and the Chaitin
+adjacency stores one mask per node with a read-only mapping/set facade
+for existing call sites.
 """
 
 from __future__ import annotations
 
-from typing import Literal, Optional
+from typing import Iterator, Literal, Mapping, Optional
 
 from ..ir.function import Function
 from ..ir.types import PhysReg, Value, Var
+from .bitset import BitSetView, VarIndex
 from .defuse import DefUse
 from .dominance import DominatorTree
 from .liveness import Liveness
@@ -46,7 +54,7 @@ class SSAInterference:
         site = self.defuse.def_site(of)
         if site is None:
             return False
-        return value in self.liveness.live_after(site.block, site.position)
+        return self.liveness.is_live_after(value, site.block, site.position)
 
     def interfere(self, a: Var, b: Var) -> bool:
         """Do the live ranges of SSA variables *a* and *b* overlap?"""
@@ -89,47 +97,110 @@ class KillRules:
     correct because Leung & George's reconstruction re-checks
     availability), and ``pessimistic`` with block-level live-in or
     same-block (may report spurious kills).
+
+    Queries are memoized: the answers depend only on the (immutable)
+    SSA analyses, never on coalescer state, and the coalescer probes the
+    same pairs repeatedly while growing resource pools.  Case 2 is
+    precomputed as one bitmask per phi definition -- the union over
+    incoming edges of the edge kill set minus that edge's argument --
+    turning the inner loop of Algorithm 2 into a single bit test.
     """
 
     def __init__(self, ssa: SSAInterference,
                  mode: InterferenceMode = "base") -> None:
         self.ssa = ssa
         self.mode = mode
-        self._live_after_edge: dict[str, set] = {}
+        self._kills: dict[tuple[Var, Var], bool] = {}
+        self._strong: dict[tuple[Var, Var], bool] = {}
+        self._phi_kill_masks: dict[Var, int] = {}
+        self._candidates: dict[Var, int] = {}
 
     # ------------------------------------------------------------------
-    def _edge_live(self, label: str) -> set:
-        cached = self._live_after_edge.get(label)
-        if cached is None:
-            cached = self.ssa.liveness.edge_kill_set(label, "")
-            self._live_after_edge[label] = cached
-        return cached
+    def _phi_kill_mask(self, a: Var) -> int:
+        """Values killed by phi *a*'s virtual edge definitions (Case 2):
+        live past some predecessor's edge copies and not the argument
+        flowing in along that very edge."""
+        mask = self._phi_kill_masks.get(a)
+        if mask is None:
+            liveness = self.ssa.liveness
+            index = liveness.index
+            site = self.ssa.defuse.def_site(a)
+            assert site is not None and site.is_phi
+            mask = 0
+            for pred_label, op in site.instr.phi_pairs():
+                edge = liveness.edge_kill_mask(pred_label)
+                slot = index.get(op.value)
+                if slot is not None:
+                    edge &= ~(1 << slot)
+                mask |= edge
+            self._phi_kill_masks[a] = mask
+        return mask
+
+    def kill_candidates_mask(self, writer: Var) -> int:
+        """A *superset* mask of the values ``variable_kills(writer, .)``
+        can report killed -- the mode's Case 1 liveness test plus the
+        Case 2 phi mask.  Callers intersect it with their own candidate
+        mask and confirm survivors with :meth:`variable_kills`; anything
+        outside the mask provably is not killed, which turns the
+        coalescer's all-pairs resource test into a few bit operations.
+        """
+        mask = self._candidates.get(writer)
+        if mask is None:
+            site = self.ssa.defuse.def_site(writer)
+            if site is None:
+                mask = 0
+            else:
+                liveness = self.ssa.liveness
+                if self.mode == "base":
+                    mask = liveness.live_after_mask(site.block,
+                                                    site.position)
+                elif self.mode == "optimistic":
+                    mask = liveness.live_out_mask(site.block)
+                else:  # pessimistic: live-in or defined in the block
+                    mask = liveness.live_in_mask(site.block) \
+                        | liveness.defs_mask(site.block)
+                if site.is_phi:
+                    mask |= self._phi_kill_mask(writer)
+            self._candidates[writer] = mask
+        return mask
 
     def variable_kills(self, a: Var, b: Var) -> bool:
         """True when defining *a* into a shared resource destroys *b*."""
+        key = (a, b)
+        cached = self._kills.get(key)
+        if cached is None:
+            cached = self._variable_kills(a, b)
+            self._kills[key] = cached
+        return cached
+
+    def _variable_kills(self, a: Var, b: Var) -> bool:
         defuse = self.ssa.defuse
         site_a = defuse.def_site(a)
         site_b = defuse.def_site(b)
         if site_a is None or site_b is None:
             return False
+        liveness = self.ssa.liveness
         # Case 1 -- dominance kill (three precision variants).
         if a != b and defuse.def_dominates(b, a, self.ssa.domtree):
             if self.mode == "base":
                 if self.ssa.live_at_def(b, a):
                     return True
             elif self.mode == "optimistic":
-                if b in self.ssa.liveness.live_out[site_a.block]:
+                slot = liveness.index.get(b)
+                if slot is not None and \
+                        (liveness.live_out_mask(site_a.block) >> slot) & 1:
                     return True
             else:  # pessimistic
-                if (b in self.ssa.liveness.live_in[site_a.block]
+                if (b in liveness.live_in[site_a.block]
                         or site_a.block == site_b.block):
                     return True
         # Case 2 -- phi kill: a's virtual definition at the end of each
         # predecessor B_i overwrites anything live past the edge copies.
         if site_a.is_phi:
-            for pred_label, op in site_a.instr.phi_pairs():
-                if b != op.value and b in self._edge_live(pred_label):
-                    return True
+            slot = liveness.index.get(b)
+            if slot is not None and \
+                    (self._phi_kill_mask(a) >> slot) & 1 == 1:
+                return True
         return False
 
     def strongly_interfere(self, a: Var, b: Var) -> bool:
@@ -138,6 +209,14 @@ class KillRules:
         A strong interference makes a common pinning *incorrect* (not
         just costly): no repair can fix it.
         """
+        key = (a, b)
+        cached = self._strong.get(key)
+        if cached is None:
+            cached = self._strongly_interfere(a, b)
+            self._strong[key] = cached
+        return cached
+
+    def _strongly_interfere(self, a: Var, b: Var) -> bool:
         defuse = self.ssa.defuse
         site_a = defuse.def_site(a)
         site_b = defuse.def_site(b)
@@ -165,6 +244,30 @@ class KillRules:
         return False
 
 
+class _AdjacencyView(Mapping):
+    """Read-only ``node -> neighbor-set`` mapping over the graph's
+    mask table, so call sites written against the old dict-of-sets
+    attribute (iteration, ``.items()``, ``graph.adjacency[n]``,
+    ``n in graph.adjacency``) keep working."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "InterferenceGraph") -> None:
+        self._graph = graph
+
+    def __getitem__(self, node: Value) -> BitSetView:
+        return BitSetView(self._graph._masks[node], self._graph._index)
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._graph._masks)
+
+    def __len__(self) -> int:
+        return len(self._graph._masks)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._graph._masks
+
+
 class InterferenceGraph:
     """Explicit interference graph for a (usually post-SSA) function.
 
@@ -173,81 +276,114 @@ class InterferenceGraph:
     after the copy except *s* itself -- the condition that lets Chaitin
     coalescing eliminate the move.  Distinct physical registers always
     interfere (implicitly; they are not stored as explicit edges).
+
+    Adjacency is one int bitmask per node over the liveness value
+    numbering; construction accumulates each definition's neighborhood
+    with a couple of mask operations per instruction and symmetrizes
+    once at the end, instead of inserting O(live) hash-set edges per
+    definition.
     """
 
     def __init__(self, function: Optional[Function] = None,
                  liveness: Optional[Liveness] = None) -> None:
-        self.adjacency: dict[Value, set[Value]] = {}
+        if function is not None and liveness is None:
+            liveness = Liveness(function)
+        self._index: VarIndex = liveness.index if liveness is not None \
+            else VarIndex()
+        self._masks: dict[Value, int] = {}
+        self.adjacency = _AdjacencyView(self)
         if function is not None:
-            self._build(function, liveness or Liveness(function))
+            assert liveness is not None
+            self._build(function, liveness)
 
     # ------------------------------------------------------------------
     def _build(self, function: Function, liveness: Liveness) -> None:
+        index = self._index
+        masks = self._masks
         for block in function.iter_blocks():
             if block.phis:
                 raise ValueError(
                     "InterferenceGraph expects a phi-free function; "
                     "use SSAInterference on SSA form")
-            live = set(liveness.live_out[block.label])
+            live = liveness.live_out_mask(block.label)
             for instr in reversed(block.body):
                 defs = [op.value for op in instr.defs
                         if isinstance(op.value, (Var, PhysReg))]
                 uses = [op.value for op in instr.uses
                         if isinstance(op.value, (Var, PhysReg))]
-                exempt = set()
+                exempt = 0
                 if instr.is_copy and uses:
-                    exempt.add(uses[0])
-                if instr.is_pcopy:
-                    # Parallel copy: each dest may share with its own src.
-                    pass
+                    exempt = 1 << index.ensure(uses[0])
+                def_bits = [1 << index.ensure(d) for d in defs]
+                all_defs = 0
+                for bit in def_bits:
+                    all_defs |= bit
                 for i, d in enumerate(defs):
-                    self.touch(d)
-                    per_def_exempt = set(exempt)
+                    per_def_exempt = exempt
                     if instr.is_pcopy:
+                        # Parallel copy: each dest may share its own src.
                         src = instr.uses[i].value
                         if isinstance(src, (Var, PhysReg)):
-                            per_def_exempt.add(src)
-                    for l in live:
-                        if l != d and l not in per_def_exempt:
-                            self.add_edge(d, l)
-                    for other in defs:
-                        if other != d:
-                            self.add_edge(d, other)
-                for d in defs:
-                    live.discard(d)
+                            per_def_exempt |= 1 << index.ensure(src)
+                    masks[d] = masks.get(d, 0) | \
+                        (((live & ~per_def_exempt) | all_defs)
+                         & ~def_bits[i])
+                live &= ~all_defs
                 for u in uses:
-                    self.touch(u)
-                    live.add(u)
+                    masks.setdefault(u, 0)
+                    live |= 1 << index.ensure(u)
+        # One symmetrization pass: cheaper than inserting both directions
+        # of every edge while sweeping.
+        values_of = index.values_of
+        for node, mask in list(masks.items()):
+            bit = 1 << index.ensure(node)
+            for neighbor in values_of(mask):
+                masks[neighbor] = masks.get(neighbor, 0) | bit
 
     # ------------------------------------------------------------------
     def touch(self, node: Value) -> None:
-        self.adjacency.setdefault(node, set())
+        self._masks.setdefault(node, 0)
 
     def add_edge(self, a: Value, b: Value) -> None:
         if a == b:
             return
-        self.adjacency.setdefault(a, set()).add(b)
-        self.adjacency.setdefault(b, set()).add(a)
+        index = self._index
+        bit_a = 1 << index.ensure(a)
+        bit_b = 1 << index.ensure(b)
+        masks = self._masks
+        masks[a] = masks.get(a, 0) | bit_b
+        masks[b] = masks.get(b, 0) | bit_a
 
     def interfere(self, a: Value, b: Value) -> bool:
         if a == b:
             return False
         if isinstance(a, PhysReg) and isinstance(b, PhysReg):
             return True
-        return b in self.adjacency.get(a, ())
+        mask = self._masks.get(a)
+        if mask is None:
+            return False
+        slot = self._index.get(b)
+        return slot is not None and (mask >> slot) & 1 == 1
 
-    def neighbors(self, node: Value) -> set[Value]:
-        return self.adjacency.get(node, set())
+    def neighbors(self, node: Value) -> BitSetView:
+        return BitSetView(self._masks.get(node, 0), self._index)
 
     def merge(self, keep: Value, gone: Value) -> None:
         """Coalesce *gone* into *keep*: simple edge union (the operation
         the paper contrasts with iterated register coalescing's
         recomputation, section 3.5)."""
-        for neighbor in self.adjacency.pop(gone, set()):
-            self.adjacency[neighbor].discard(gone)
+        index = self._index
+        masks = self._masks
+        gone_mask = masks.pop(gone, 0)
+        keep_bit = 1 << index.ensure(keep)
+        gone_slot = index.get(gone)
+        gone_bit = (1 << gone_slot) if gone_slot is not None else 0
+        for neighbor in list(index.values_of(gone_mask)):
+            mask = masks.get(neighbor, 0) & ~gone_bit
             if neighbor != keep:
-                self.add_edge(keep, neighbor)
-        self.touch(keep)
+                mask |= keep_bit
+            masks[neighbor] = mask
+        masks[keep] = masks.get(keep, 0) | (gone_mask & ~keep_bit)
 
     def __len__(self) -> int:
-        return len(self.adjacency)
+        return len(self._masks)

@@ -22,15 +22,25 @@ used past the copy is killed by any write to its resource).
 The same equations serve non-SSA programs (all phi sets empty), which is
 how the Chaitin-style coalescer builds its interference graph after the
 out-of-SSA translation.
+
+Representation: all sets are int bitmasks over a dense per-function
+:class:`~repro.analysis.bitset.VarIndex`; the fixpoint and every
+per-point sweep are a handful of big-int operations per block.  The
+public ``live_in`` / ``live_out`` / ``live_after`` API still hands out
+*sets* -- :class:`~repro.analysis.bitset.BitSetView` facades that
+interoperate with plain ``set`` objects -- while hot callers use the
+``*_mask`` twins and the O(1) :meth:`Liveness.is_live_after` bit test.
 """
 
 from __future__ import annotations
 
+from typing import Optional
 
-
-from ..ir.cfg import predecessors_map, reverse_postorder
+from ..ir.cfg import reverse_postorder
 from ..ir.function import Function
+from ..ir.instructions import Instruction
 from ..ir.types import PhysReg, Value, Var
+from .bitset import BitSetView, VarIndex
 
 #: Liveness tracks anything that can hold a value across instructions:
 #: variables and (after out-of-SSA renaming) physical registers.
@@ -45,73 +55,154 @@ class Liveness:
     """Block-level live-in/live-out sets plus per-point queries.
 
     The object is a snapshot: mutate the function and the sets are stale;
-    construct a new instance (all passes in this code base do).
+    construct a new instance (or let the
+    :class:`~repro.analysis.manager.AnalysisManager` rebuild one when the
+    function's mutation epoch moves).
     """
 
-    def __init__(self, function: Function) -> None:
+    def __init__(self, function: Function,
+                 index: Optional[VarIndex] = None) -> None:
         self.function = function
-        self.live_in: dict[str, set[Liv]] = {}
-        self.live_out: dict[str, set[Liv]] = {}
-        self._phi_defs: dict[str, set[Liv]] = {}
-        self._phi_uses_out: dict[str, set[Liv]] = {}
-        self._defs: dict[str, set[Liv]] = {}
-        self._upward: dict[str, set[Liv]] = {}
-        self._used_in_body: dict[str, set[Liv]] = {}
-        self._after_cache: dict[str, list[set[Liv]]] = {}
+        self.index = index if index is not None else VarIndex(function)
+        self._in: dict[str, int] = {}
+        self._out: dict[str, int] = {}
+        self._phi_defs: dict[str, int] = {}
+        self._defs: dict[str, int] = {}
+        self._upward: dict[str, int] = {}
+        self._used_in_body: dict[str, int] = {}
+        self._phi_uses_out: dict[str, int] = {}
+        #: label -> (mask after the phi prefix, [mask after body[i]]);
+        #: filled lazily, one backward sweep per queried block.
+        self._points: dict[str, tuple[int, list[int]]] = {}
+        self._after_views: dict[str, list[BitSetView]] = {}
+        self._edge_kill: dict[str, int] = {}
         self._compute()
+        view = self.index.view
+        self.live_in: dict[str, BitSetView] = {
+            label: view(mask) for label, mask in self._in.items()}
+        self.live_out: dict[str, BitSetView] = {
+            label: view(mask) for label, mask in self._out.items()}
 
     # ------------------------------------------------------------------
-    def _local_sets(self) -> None:
-        preds = predecessors_map(self.function)
+    def _local_masks(self) -> None:
+        index = self.index
         for label, block in self.function.blocks.items():
-            phi_defs = {op.value for phi in block.phis for op in phi.defs
-                        if _trackable(op.value)}
-            defs = set(phi_defs)
-            upward: set[Liv] = set()
-            used_body: set[Liv] = set()
+            phi_defs = 0
+            for phi in block.phis:
+                for op in phi.defs:
+                    if _trackable(op.value):
+                        phi_defs |= 1 << index.ensure(op.value)
+            defs = phi_defs
+            upward = 0
+            used_body = 0
             for instr in block.body:
                 for op in instr.uses:
                     if _trackable(op.value):
-                        used_body.add(op.value)
-                        if op.value not in defs:
-                            upward.add(op.value)
+                        bit = 1 << index.ensure(op.value)
+                        used_body |= bit
+                        if not defs & bit:
+                            upward |= bit
                 for op in instr.defs:
                     if _trackable(op.value):
-                        defs.add(op.value)
+                        defs |= 1 << index.ensure(op.value)
             self._phi_defs[label] = phi_defs
             self._defs[label] = defs
             self._upward[label] = upward
             self._used_in_body[label] = used_body
-            self._phi_uses_out.setdefault(label, set())
+            self._phi_uses_out.setdefault(label, 0)
         # phi uses live at the end of the corresponding predecessor.
         for label, block in self.function.blocks.items():
             for phi in block.phis:
                 for pred_label, op in phi.phi_pairs():
                     if _trackable(op.value) and pred_label in self._defs:
-                        self._phi_uses_out.setdefault(
-                            pred_label, set()).add(op.value)
+                        self._phi_uses_out[pred_label] |= \
+                            1 << index.ensure(op.value)
 
     def _compute(self) -> None:
-        self._local_sets()
+        self._local_masks()
         order = reverse_postorder(self.function)
+        live_in = self._in
+        live_out = self._out
         for label in self.function.blocks:
-            self.live_in[label] = set()
-            self.live_out[label] = set()
+            live_in[label] = 0
+            live_out[label] = 0
+        blocks = self.function.blocks
+        sweep = [(label, blocks[label].successors(),
+                  self._phi_uses_out.get(label, 0),
+                  self._phi_defs[label] | self._upward[label],
+                  self._defs[label])
+                 for label in reversed(order)]
         changed = True
         while changed:
             changed = False
-            for label in reversed(order):
-                block = self.function.blocks[label]
-                out: set[Liv] = set(self._phi_uses_out.get(label, ()))
-                for succ in block.successors():
-                    out |= self.live_in[succ] - self._phi_defs[succ]
-                new_in = (self._phi_defs[label] | self._upward[label]
-                          | (out - self._defs[label]))
-                if out != self.live_out[label] or \
-                        new_in != self.live_in[label]:
-                    self.live_out[label] = out
-                    self.live_in[label] = new_in
+            for label, succs, phi_out, gen, defs in sweep:
+                out = phi_out
+                for succ in succs:
+                    out |= live_in[succ] & ~self._phi_defs[succ]
+                new_in = gen | (out & ~defs)
+                if out != live_out[label] or new_in != live_in[label]:
+                    live_out[label] = out
+                    live_in[label] = new_in
                     changed = True
+
+    # ------------------------------------------------------------------
+    # Mask-level accessors (the fast path for analyses and passes)
+    # ------------------------------------------------------------------
+    def live_in_mask(self, label: str) -> int:
+        return self._in[label]
+
+    def live_out_mask(self, label: str) -> int:
+        return self._out[label]
+
+    def defs_mask(self, label: str) -> int:
+        """Every value defined in *label* (phi prefix and body)."""
+        return self._defs[label]
+
+    def live_after_mask(self, label: str, position: int) -> int:
+        """Bitmask form of :meth:`live_after` (``-1`` = the phi prefix)."""
+        entry, after = self._point_masks(label)
+        return entry if position == -1 else after[position]
+
+    def edge_kill_mask(self, pred: str) -> int:
+        """Bitmask form of :meth:`edge_kill_set` (cached per block)."""
+        cached = self._edge_kill.get(pred)
+        if cached is None:
+            cached = 0
+            for s in self.function.blocks[pred].successors():
+                cached |= self._in[s] & ~self._phi_defs[s]
+            self._edge_kill[pred] = cached
+        return cached
+
+    def _step_back(self, live: int, instr: Instruction) -> int:
+        """One backward dataflow step across *instr*: kill its defs,
+        revive its uses.  Single source of truth for every per-point
+        query (body positions and the phi prefix alike)."""
+        index = self.index
+        for op in instr.defs:
+            if _trackable(op.value):
+                live &= ~(1 << index.ensure(op.value))
+        for op in instr.uses:
+            if _trackable(op.value):
+                live |= 1 << index.ensure(op.value)
+        return live
+
+    def _point_masks(self, label: str) -> tuple[int, list[int]]:
+        """``(entry, after)`` for *label*: *entry* is the live mask just
+        after the phi prefix (before ``body[0]``), ``after[i]`` just
+        after ``body[i]`` (so ``after[-1]`` equals live-out).  One lazy
+        backward sweep per block."""
+        cached = self._points.get(label)
+        if cached is None:
+            block = self.function.blocks[label]
+            live = self._out[label]
+            after = [0] * len(block.body)
+            step = self._step_back
+            for position in range(len(block.body) - 1, -1, -1):
+                after[position] = live
+                live = step(live, block.body[position])
+            cached = (live, after)
+            self._points[label] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Paper-specific composite queries
@@ -119,8 +210,11 @@ class Liveness:
     def phi_def_live_past_entry(self, var: Var, label: str) -> bool:
         """Is phi-defined *var* (a phi def of *label*) still needed after
         the virtual edge copies, i.e. used in the body or live out?"""
-        return (var in self._used_in_body[label]
-                or var in self.live_out[label])
+        position = self.index.get(var)
+        if position is None:
+            return False
+        mask = self._used_in_body[label] | self._out[label]
+        return (mask >> position) & 1 == 1
 
     def phi_uses_on_edge(self, pred: str, succ: str) -> set[Liv]:
         """Variables consumed by the virtual edge copies of ``pred->succ``
@@ -132,7 +226,7 @@ class Liveness:
                     result.add(op.value)
         return result
 
-    def edge_kill_set(self, pred: str, succ: str) -> set[Liv]:
+    def edge_kill_set(self, pred: str, succ: str) -> BitSetView:
         """Values whose liveness extends *past* the virtual phi copies
         executed on the edge ``pred -> succ``.
 
@@ -151,56 +245,41 @@ class Liveness:
         written), so the set only depends on *pred*; the *succ* argument
         documents the edge and keeps the call sites readable.
         """
-        survive: set[Liv] = set()
-        for s in self.function.blocks[pred].successors():
-            survive |= self.live_in[s] - self._phi_defs[s]
-        return survive
+        return self.index.view(self.edge_kill_mask(pred))
 
     # ------------------------------------------------------------------
     # Per-point queries
     # ------------------------------------------------------------------
-    def live_after_sets(self, label: str) -> list[set[Liv]]:
+    def live_after_sets(self, label: str) -> list[BitSetView]:
         """``result[i]`` = live set just after body instruction *i* of
         block *label* (``result[-1]`` equals ``live_out``)."""
-        cached = self._after_cache.get(label)
-        if cached is not None:
-            return cached
-        block = self.function.blocks[label]
-        live = set(self.live_out[label])
-        after: list[set[Liv]] = [set() for _ in block.body]
-        for index in range(len(block.body) - 1, -1, -1):
-            after[index] = set(live)
-            instr = block.body[index]
-            for op in instr.defs:
-                if _trackable(op.value):
-                    live.discard(op.value)
-            for op in instr.uses:
-                if _trackable(op.value):
-                    live.add(op.value)
-        self._after_cache[label] = after
-        return after
+        cached = self._after_views.get(label)
+        if cached is None:
+            _, after = self._point_masks(label)
+            view = self.index.view
+            cached = [view(mask) for mask in after]
+            self._after_views[label] = cached
+        return cached
 
-    def live_after(self, label: str, position: int) -> set[Liv]:
+    def live_after(self, label: str, position: int) -> BitSetView:
         """Live set just after the instruction at *position* in *label*.
 
         ``position == -1`` addresses the phi prefix: the set right after
-        all phi definitions, i.e. at the start of the body.
+        all phi definitions, i.e. at the start of the body.  It is
+        produced by the same backward sweep as the body positions
+        (:meth:`_point_masks`), so the two paths cannot diverge.
         """
+        entry, after = self._point_masks(label)
         if position == -1:
-            block = self.function.blocks[label]
-            if block.body:
-                after = self.live_after_sets(label)[0]
-                instr = block.body[0]
-                live = set(after)
-                for op in instr.defs:
-                    if _trackable(op.value):
-                        live.discard(op.value)
-                for op in instr.uses:
-                    if _trackable(op.value):
-                        live.add(op.value)
-                return live
-            return set(self.live_out[label])
-        return self.live_after_sets(label)[position]
+            return self.index.view(entry)
+        return self.index.view(after[position])
 
     def is_live_after(self, value: Liv, label: str, position: int) -> bool:
-        return value in self.live_after(label, position)
+        """O(1) per-point bit test -- the dominant query of the paper's
+        kill rules (:class:`~repro.analysis.interference.KillRules`)."""
+        slot = self.index.get(value)
+        if slot is None:
+            return False
+        entry, after = self._point_masks(label)
+        mask = entry if position == -1 else after[position]
+        return (mask >> slot) & 1 == 1

@@ -75,6 +75,7 @@ def remove_unreachable_blocks(function: Function) -> list[str]:
     for label in removed:
         del function.blocks[label]
     if removed:
+        function.bump_cfg_epoch()
         gone = set(removed)
         for block in function.iter_blocks():
             for phi in block.phis:
@@ -128,6 +129,8 @@ def split_critical_edges(function: Function) -> list[str]:
             preds[mid_label] = [src_label]
             new_targets.append(mid_label)
         term.attrs["targets"] = new_targets
+    if created:
+        function.bump_cfg_epoch()
     return created
 
 

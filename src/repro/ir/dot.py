@@ -41,11 +41,14 @@ def cfg_to_dot(function: Function, include_code: bool = True) -> str:
     return "\n".join(lines)
 
 
-def domtree_to_dot(function: Function) -> str:
-    """The dominator tree."""
-    from ..analysis.dominance import DominatorTree
+def domtree_to_dot(function: Function, analyses=None) -> str:
+    """The dominator tree (from the shared manager when given)."""
+    if analyses is not None:
+        tree = analyses.domtree(function)
+    else:
+        from ..analysis.dominance import DominatorTree
 
-    tree = DominatorTree(function)
+        tree = DominatorTree(function)
     lines = [f'digraph "dom_{_escape(function.name)}" {{',
              "  node [shape=ellipse];"]
     for label in tree.order:
@@ -58,12 +61,16 @@ def domtree_to_dot(function: Function) -> str:
 
 
 def interference_to_dot(function: Function,
-                        max_nodes: Optional[int] = None) -> str:
+                        max_nodes: Optional[int] = None,
+                        analyses=None) -> str:
     """The (post-SSA) interference graph; copy-related pairs dashed."""
-    from ..analysis.interference import InterferenceGraph
-    from ..analysis.liveness import Liveness
+    if analyses is not None:
+        graph = analyses.interference_graph(function)
+    else:
+        from ..analysis.interference import InterferenceGraph
+        from ..analysis.liveness import Liveness
 
-    graph = InterferenceGraph(function, Liveness(function))
+        graph = InterferenceGraph(function, Liveness(function))
     move_pairs = set()
     for instr in function.instructions():
         if instr.is_copy:

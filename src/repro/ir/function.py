@@ -30,6 +30,29 @@ class Function:
         self.entry: Optional[str] = None
         self._temp_counter = 0
         self._label_counter = 0
+        #: Mutation epochs, the cheap invalidation signal consumed by
+        #: :class:`repro.analysis.manager.AnalysisManager`.  ``epoch``
+        #: advances on *any* IR mutation, ``cfg_epoch`` only when the
+        #: block/edge structure changes (CFG-only analyses such as the
+        #: dominator tree survive body-level rewrites).  Passes bump the
+        #: counters after mutating; attaching or clearing operand *pins*
+        #: is explicitly not a mutation -- no analysis reads pins.
+        self.epoch = 0
+        self.cfg_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Mutation epochs
+    # ------------------------------------------------------------------
+    def bump_epoch(self) -> None:
+        """Record an instruction-level mutation (bodies/phis/operands
+        changed, CFG shape intact)."""
+        self.epoch += 1
+
+    def bump_cfg_epoch(self) -> None:
+        """Record a structural mutation (blocks or edges changed);
+        implies :meth:`bump_epoch`."""
+        self.epoch += 1
+        self.cfg_epoch += 1
 
     # ------------------------------------------------------------------
     # Structure

@@ -47,7 +47,7 @@ class RegClass(enum.Enum):
     COND = "cond"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Var:
     """A virtual register (an SSA variable once the program is in SSA form).
 
@@ -63,11 +63,27 @@ class Var:
         Leung & George), ``origin`` records which one, so the collect
         phase can re-pin the variable to it.  ``None`` for ordinary
         variables.
+
+    Identity is the *name* alone (``regclass``/``origin`` are carried
+    metadata); the hash is cached at construction because values serve
+    as dictionary keys in every analysis -- liveness and interference
+    hash them millions of times per pipeline run.
     """
 
     name: str
     regclass: RegClass = field(default=RegClass.GPR, compare=False)
     origin: "PhysReg | None" = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(self.name))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Var:
+            return self.name == other.name  # type: ignore[attr-defined]
+        return NotImplemented
 
     def __str__(self) -> str:
         return self.name
@@ -80,7 +96,7 @@ class Var:
         return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PhysReg:
     """A dedicated physical register of the target machine.
 
@@ -90,6 +106,17 @@ class PhysReg:
 
     name: str
     regclass: RegClass = field(default=RegClass.GPR, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((PhysReg, self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is PhysReg:
+            return self.name == other.name  # type: ignore[attr-defined]
+        return NotImplemented
 
     def __str__(self) -> str:
         return f"${self.name}"

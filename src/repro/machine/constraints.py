@@ -50,7 +50,8 @@ def pinning_sp(function: Function, target: Target = ST120) -> int:
     return pinned
 
 
-def pinning_abi(function: Function, target: Target = ST120) -> int:
+def pinning_abi(function: Function, target: Target = ST120,
+                analyses=None) -> int:
     """Attach all non-SP renaming constraints as pins.
 
     * ``input`` definitions are pinned to parameter registers,
@@ -60,11 +61,14 @@ def pinning_abi(function: Function, target: Target = ST120) -> int:
     * definitions renamed from an explicitly-written physical register
       (``$R4`` in the source) back to that register.
 
-    Returns the number of operands pinned.
+    Returns the number of operands pinned.  ``analyses`` optionally
+    injects a shared :class:`~repro.analysis.manager.AnalysisManager`
+    for the tie-coalescing kill tests (pins are attached either way;
+    pinning itself never invalidates an analysis).
     """
     pinned = 0
     sp = target.stack_pointer
-    tied_rules = _TiedPinner(function)
+    tied_rules = _TiedPinner(function, analyses)
     for block in function.iter_blocks():
         for instr in block.body:
             if instr.opcode == "input":
@@ -138,19 +142,25 @@ class _TiedPinner:
       ``P0``).
 
     Analyses are built lazily: functions without 2-operand instructions
-    pay nothing.
+    pay nothing.  When an :class:`~repro.analysis.manager.AnalysisManager`
+    is injected, its shared kill rules are used instead of private ones
+    -- the same memoized rules the phi coalescer will query next.
     """
 
-    def __init__(self, function: Function) -> None:
+    def __init__(self, function: Function, analyses=None) -> None:
         self.function = function
+        self.analyses = analyses
         self._rules = None
         self._def_pins: "dict[Var, object] | None" = None
 
     def _ensure(self) -> None:
         if self._rules is None:
-            from ..analysis.interference import KillRules, SSAInterference
+            analyses = self.analyses
+            if analyses is None:
+                from ..analysis.manager import AnalysisManager
 
-            self._rules = KillRules(SSAInterference(self.function))
+                analyses = AnalysisManager()
+            self._rules = analyses.kill_rules(self.function)
 
     def _def_operand(self, var: Var):
         if self._def_pins is None:

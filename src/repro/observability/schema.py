@@ -3,11 +3,15 @@
 Two document shapes are emitted by the CLI and the benchmark harness
 (see ``docs/observability.md`` for the field-by-field reference):
 
-``repro.stats/v1``
+``repro.stats/v1.1``
     One experiment run: totals, the per-phase breakdown (timing plus
     move/instruction/phi deltas per function), raw per-phase pass
-    statistics, counters, and the event count.  Produced by
-    :meth:`repro.pipeline.ExperimentResult.to_stats`.
+    statistics, counters, the event count and -- new in v1.1 -- the
+    ``analysis_cache`` block summarizing shared-analysis reuse
+    (hits/misses/invalidations/preserved, from
+    :class:`repro.analysis.manager.AnalysisManager`).  Produced by
+    :meth:`repro.pipeline.ExperimentResult.to_stats`.  ``repro.stats/v1``
+    documents (no ``analysis_cache``) remain valid input.
 
 ``repro.stats-collection/v1``
     ``{"schema": ..., "runs": [<stats doc>, ...]}`` -- many runs in one
@@ -28,8 +32,16 @@ from __future__ import annotations
 import json
 from typing import Any
 
-STATS_SCHEMA = "repro.stats/v1"
+STATS_SCHEMA = "repro.stats/v1.1"
 COLLECTION_SCHEMA = "repro.stats-collection/v1"
+
+#: Schemas consumers must accept: the current one plus every prior
+#: minor revision (v1 documents simply lack the ``analysis_cache``
+#: block introduced in v1.1).
+ACCEPTED_STATS_SCHEMAS = ("repro.stats/v1", "repro.stats/v1.1")
+
+#: The integer fields of the optional ``analysis_cache`` block.
+ANALYSIS_CACHE_KEYS = ("hits", "misses", "invalidations", "preserved")
 
 #: The integer fields of every ``delta`` object.
 DELTA_KEYS = ("instructions", "moves", "phis",
@@ -95,9 +107,9 @@ def validate_stats(doc: Any, where: str = "$") -> None:
         for i, run in enumerate(runs):
             validate_stats(run, f"{where}.runs[{i}]")
         return
-    _expect(schema == STATS_SCHEMA, where,
-            f"unknown schema {schema!r} (expected {STATS_SCHEMA!r} "
-            f"or {COLLECTION_SCHEMA!r})")
+    _expect(schema in ACCEPTED_STATS_SCHEMAS, where,
+            f"unknown schema {schema!r} (expected one of "
+            f"{ACCEPTED_STATS_SCHEMAS} or {COLLECTION_SCHEMA!r})")
     _expect(isinstance(doc.get("experiment"), str), where,
             "'experiment' must be a string")
     _validate_measures(doc.get("totals"),
@@ -113,6 +125,10 @@ def validate_stats(doc: Any, where: str = "$") -> None:
         _expect(isinstance(value, int) and not isinstance(value, bool),
                 f"{where}.counters", f"{name!r} must map to an integer")
     _expect_int(doc, "events", where)
+    cache = doc.get("analysis_cache")
+    if cache:  # optional; absent in v1 documents, may be empty in v1.1
+        _validate_measures(cache, ANALYSIS_CACHE_KEYS,
+                           f"{where}.analysis_cache")
 
 
 def validate_stats_file(path: str) -> dict:

@@ -26,7 +26,6 @@ Rules:
 from __future__ import annotations
 
 from ..analysis.interference import InterferenceGraph
-from ..analysis.liveness import Liveness
 from ..ir.function import Function
 from ..ir.instructions import Instruction, Operand
 from ..ir.types import Imm, PhysReg, Value
@@ -35,18 +34,28 @@ from ..observability import resolve as _resolve_tracer
 
 def aggressive_coalesce(function: Function,
                         max_rounds: int = 100,
-                        tracer=None) -> int:
+                        tracer=None,
+                        analyses=None) -> int:
     """Coalesce moves until fixpoint; returns copies eliminated.
 
     ``tracer`` records one ``chaitin.round`` event per fixpoint
     iteration and the ``chaitin.rounds`` / ``chaitin.copies_removed``
     counters (the final zero-removal round that proves the fixpoint is
     counted too).
+
+    ``analyses`` optionally supplies the shared
+    :class:`~repro.analysis.manager.AnalysisManager`; only liveness is
+    taken from it -- the graph itself is merged destructively during a
+    round, so every round builds a private one over the cached liveness.
     """
     tracer = _resolve_tracer(tracer)
+    if analyses is None:
+        from ..analysis.manager import AnalysisManager
+
+        analyses = AnalysisManager()
     eliminated = 0
     for round_index in range(max_rounds):
-        removed = _coalesce_round(function)
+        removed = _coalesce_round(function, analyses)
         eliminated += removed
         if tracer.enabled:
             tracer.count("chaitin.rounds")
@@ -59,8 +68,8 @@ def aggressive_coalesce(function: Function,
     return eliminated
 
 
-def _coalesce_round(function: Function) -> int:
-    graph = InterferenceGraph(function, Liveness(function))
+def _coalesce_round(function: Function, analyses) -> int:
+    graph = InterferenceGraph(function, analyses.liveness(function))
     # Union-find over values; physical registers always win as reps.
     parent: dict[Value, Value] = {}
 
@@ -93,7 +102,10 @@ def _coalesce_round(function: Function) -> int:
             merged += 1
     if merged == 0 and not _has_self_copy(function):
         return 0
-    return _rewrite(function, find)
+    removed = _rewrite(function, find)
+    # _rewrite renamed operands and/or deleted copies: body mutation.
+    function.bump_epoch()
+    return removed
 
 
 def _has_self_copy(function: Function) -> bool:

@@ -18,7 +18,6 @@ two purposes:
 
 from __future__ import annotations
 
-from ..analysis.interference import KillRules, SSAInterference
 from ..ir.function import Function
 from ..ir.types import Var
 
@@ -55,15 +54,20 @@ def phi_congruence_classes(function: Function) -> list[set[Var]]:
     return [group for group in classes.values() if len(group) > 1]
 
 
-def check_conventional(function: Function) -> list[str]:
+def check_conventional(function: Function, analyses=None) -> list[str]:
     """Return violation descriptions; empty means the function is CSSA.
 
     A violation is a pair of phi-congruent variables that interfere
     (simple or strong) -- renaming the class to one name would be
-    incorrect or need repairs.
+    incorrect or need repairs.  ``analyses`` optionally supplies the
+    shared :class:`~repro.analysis.manager.AnalysisManager`.
     """
-    ssa = SSAInterference(function)
-    rules = KillRules(ssa)
+    if analyses is None:
+        from ..analysis.manager import AnalysisManager
+
+        analyses = AnalysisManager()
+    ssa = analyses.ssa(function)
+    rules = analyses.kill_rules(function)
     errors: list[str] = []
     for group in phi_congruence_classes(function):
         members = sorted(group, key=lambda v: v.name)

@@ -39,9 +39,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..analysis.defuse import DefUse
-from ..analysis.dominance import DominatorTree
-from ..analysis.liveness import Liveness
 from ..ir.cfg import reverse_postorder, split_critical_edges
 from ..ir.function import Function
 from ..ir.instructions import Instruction, Operand, make_copy
@@ -66,12 +63,25 @@ class OutOfSSAStats:
 
 
 def out_of_pinned_ssa(function: Function,
-                      check_pinning: bool = True) -> OutOfSSAStats:
-    """Translate pinned SSA *function* out of SSA, in place."""
+                      check_pinning: bool = True,
+                      analyses=None) -> OutOfSSAStats:
+    """Translate pinned SSA *function* out of SSA, in place.
+
+    ``analyses`` is an optional
+    :class:`~repro.analysis.manager.AnalysisManager` supplying the
+    dominator tree, def-use chains and liveness (shared with the earlier
+    pinning phases when nothing mutated in between); without one the
+    translator builds private copies.
+    """
     split_critical_edges(function)
     _lower_degenerate_phis(function)
-    translator = _Translator(function, check_pinning)
-    return translator.run()
+    translator = _Translator(function, check_pinning, analyses)
+    stats = translator.run()
+    # The reconstruction rewrites every block (and sequentialization
+    # expands the parallel copies): all instruction-level analyses are
+    # stale now.
+    function.bump_epoch()
+    return stats
 
 
 def _lower_degenerate_phis(function: Function) -> None:
@@ -80,6 +90,7 @@ def _lower_degenerate_phis(function: Function) -> None:
     from ..ir.cfg import predecessors_map
 
     preds = predecessors_map(function)
+    lowered = False
     for block in function.iter_blocks():
         if not block.phis or len(preds[block.label]) != 1:
             continue
@@ -92,15 +103,23 @@ def _lower_degenerate_phis(function: Function) -> None:
             use.is_def = False
         block.body.insert(0, Instruction("pcopy", defs, uses))
         block.phis = []
+        lowered = True
+    if lowered:
+        function.bump_epoch()
 
 
 class _Translator:
-    def __init__(self, function: Function, check_pinning: bool) -> None:
+    def __init__(self, function: Function, check_pinning: bool,
+                 analyses=None) -> None:
         self.function = function
         self.check = check_pinning
-        self.domtree = DominatorTree(function)
-        self.defuse = DefUse(function)
-        self.liveness = Liveness(function)
+        if analyses is None:
+            from ..analysis.manager import AnalysisManager
+
+            analyses = AnalysisManager()
+        self.domtree = analyses.domtree(function)
+        self.defuse = analyses.defuse(function)
+        self.liveness = analyses.liveness(function)
         self.stats = OutOfSSAStats()
         # var -> resource (def pin or the variable itself)
         self.resource: dict[Var, Resource] = {}

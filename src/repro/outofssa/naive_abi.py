@@ -38,6 +38,8 @@ def naive_abi(function: Function, target: Target = ST120) -> int:
             else:
                 new_body.append(instr)
         block.body = new_body
+    if inserted:
+        function.bump_epoch()
     return inserted
 
 

@@ -43,8 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Optional
 
-from ..analysis.interference import InterferenceMode, KillRules, SSAInterference
-from ..analysis.loops import LoopForest
+from ..analysis.interference import InterferenceMode, KillRules
 from ..ir.cfg import split_critical_edges
 from ..ir.function import Function
 from ..ir.types import PhysReg, Resource, Var
@@ -80,13 +79,16 @@ class ResourcePool:
         self.rules = rules
         self.parent: dict[Resource, Resource] = {}
         self.members: dict[Resource, list[Var]] = {}
-        self._killed_cache: dict[Resource, set[Var]] = {}
+        #: root -> (killed members, mask of the *surviving* members) --
+        #: the two inputs of every resource interference test.
+        self._killed_cache: dict[Resource, tuple[set[Var], int]] = {}
         # Pinned *uses* write their resource just before the instruction
         # (the reconstruction's use-pin moves, e.g. call arguments into
         # R0).  A variable live across such a write is killed by the
         # merge, so the interference test must see these sites; they are
         # keyed by the pin and looked up through find() after merges.
         self._use_pin_sites: dict[Resource, list[tuple[str, int, Var]]] = {}
+        self._sites_cache: dict[Resource, list[tuple[str, int, Var]]] = {}
         for block in function.iter_blocks():
             for pos, instr in enumerate(block.body):
                 for op in instr.defs:
@@ -139,6 +141,8 @@ class ResourcePool:
         self.members[rb] = []
         self._killed_cache.pop(ra, None)
         self._killed_cache.pop(rb, None)
+        self._sites_cache.pop(ra, None)
+        self._sites_cache.pop(rb, None)
         return ra
 
     def merge(self, a: Resource, b: Resource) -> Resource:
@@ -149,11 +153,15 @@ class ResourcePool:
 
     # ------------------------------------------------------------------
     def _sites(self, root: Resource) -> list[tuple[str, int, Var]]:
-        """Use-pin write sites currently targeting resource *root*."""
-        sites: list[tuple[str, int, Var]] = []
-        for pin, entries in self._use_pin_sites.items():
-            if self.find(pin) == root:
-                sites.extend(entries)
+        """Use-pin write sites currently targeting resource *root*
+        (cached until a merge touches the root)."""
+        sites = self._sites_cache.get(root)
+        if sites is None:
+            sites = []
+            for pin, entries in self._use_pin_sites.items():
+                if self.find(pin) == root:
+                    sites.extend(entries)
+            self._sites_cache[root] = sites
         return sites
 
     def _site_kills(self, site: tuple[str, int, Var], victim: Var) -> bool:
@@ -167,22 +175,41 @@ class ResourcePool:
         """Paper's ``Resource_killed``: members already killed by another
         member (or by themselves -- the lost-copy self-kill), or by a
         use-pin move writing the resource."""
-        root = self.find(res)
+        return self._killed_and_ok(self.find(res))[0]
+
+    def _killed_and_ok(self, root: Resource) -> tuple[set[Var], int]:
+        """``(killed members, mask of surviving members)`` for *root*,
+        cached until the next merge touching the root.  The writer loop
+        is prefiltered with the kill-candidate masks: a member outside
+        every writer's candidate mask is checked against the use-pin
+        sites only."""
         cached = self._killed_cache.get(root)
         if cached is None:
+            rules = self.rules
+            index = rules.ssa.liveness.index
             group = self.members[root]
-            cached = set()
+            group_mask = index.mask_of(group)
+            killed: set[Var] = set()
+            for writer in group:
+                candidates = rules.kill_candidates_mask(writer) & group_mask
+                while candidates:
+                    low = candidates & -candidates
+                    candidates ^= low
+                    victim = index.value(low.bit_length() - 1)
+                    if victim not in killed \
+                            and rules.variable_kills(writer, victim):
+                        killed.add(victim)
             sites = self._sites(root)
-            for victim in group:
-                for writer in group:
-                    if self.rules.variable_kills(writer, victim):
-                        cached.add(victim)
-                        break
-                else:
+            if sites:
+                for victim in group:
+                    if victim in killed:
+                        continue
                     for site in sites:
                         if self._site_kills(site, victim):
-                            cached.add(victim)
+                            killed.add(victim)
                             break
+            ok_mask = group_mask & ~index.mask_of(killed)
+            cached = (killed, ok_mask)
             self._killed_cache[root] = cached
         return cached
 
@@ -201,15 +228,35 @@ class ResourcePool:
             return False
         if isinstance(ra, PhysReg) and isinstance(rb, PhysReg):
             return True
-        killed_a = self.killed_within(ra)
-        killed_b = self.killed_within(rb)
-        for va in self.members[ra]:
-            for vb in self.members[rb]:
-                if va not in killed_a and self.rules.variable_kills(vb, va):
+        killed_a, mask_a = self._killed_and_ok(ra)
+        killed_b, mask_b = self._killed_and_ok(rb)
+        rules = self.rules
+        index = rules.ssa.liveness.index
+        group_a = self.members[ra]
+        group_b = self.members[rb]
+        # Candidate-mask prefilter: a writer can only kill values inside
+        # its kill_candidates_mask, so intersect it with the mask of the
+        # other group's not-yet-killed members and confirm just the
+        # survivors pairwise (usually none).
+        for writer in group_b:
+            candidates = rules.kill_candidates_mask(writer) & mask_a
+            while candidates:
+                low = candidates & -candidates
+                candidates ^= low
+                victim = index.value(low.bit_length() - 1)
+                if rules.variable_kills(writer, victim):
                     return True
-                if vb not in killed_b and self.rules.variable_kills(va, vb):
+        for writer in group_a:
+            candidates = rules.kill_candidates_mask(writer) & mask_b
+            while candidates:
+                low = candidates & -candidates
+                candidates ^= low
+                victim = index.value(low.bit_length() - 1)
+                if rules.variable_kills(writer, victim):
                     return True
-                if self.rules.strongly_interfere(va, vb):
+        for va in group_a:
+            for vb in group_b:
+                if rules.strongly_interfere(va, vb):
                     return True
         for site in self._sites(ra):
             for vb in self.members[rb]:
@@ -232,7 +279,8 @@ def coalesce_phis(function: Function,
                   traversal: Traversal = "inner-to-outer",
                   weight_ordered: bool = True,
                   phys_affinity: bool = True,
-                  tracer=None) -> CoalescingStats:
+                  tracer=None,
+                  analyses=None) -> CoalescingStats:
     """Run ``Program_pinning`` on *function* (in place, pins only).
 
     The function must be in SSA form; only operand pins are modified.
@@ -252,11 +300,17 @@ def coalesce_phis(function: Function,
     (plus ``coalesce.interference_queries``), a ``coalesce.block`` event
     summarizes each processed block and a ``coalesce.merge`` event each
     component merge.  See docs/observability.md for the catalogue.
+
+    ``analyses`` is an optional
+    :class:`~repro.analysis.manager.AnalysisManager`; the pipeline passes
+    its shared one so the interference substrate built by earlier phases
+    (ABI pinning probes the same kill rules) is reused instead of
+    reconstructed.  Standalone callers may omit it.
     """
     split_critical_edges(function)
     coalescer = _Coalescer(function, mode, depth_ordered,
                            literal_weight_update, traversal, weight_ordered,
-                           phys_affinity, _resolve_tracer(tracer))
+                           phys_affinity, _resolve_tracer(tracer), analyses)
     return coalescer.run()
 
 
@@ -264,17 +318,22 @@ class _Coalescer:
     def __init__(self, function: Function, mode: InterferenceMode,
                  depth_ordered: bool, literal_weight_update: bool,
                  traversal: Traversal, weight_ordered: bool,
-                 phys_affinity: bool = True, tracer=None) -> None:
+                 phys_affinity: bool = True, tracer=None,
+                 analyses=None) -> None:
         self.function = function
         self.depth_ordered = depth_ordered
         self.literal = literal_weight_update
         self.weight_ordered = weight_ordered
         self.phys_affinity = phys_affinity
         self.tracer = _resolve_tracer(tracer)
-        self.ssa = SSAInterference(function)
-        self.rules = KillRules(self.ssa, mode)
+        if analyses is None:
+            from ..analysis.manager import AnalysisManager
+
+            analyses = AnalysisManager()
+        self.rules = analyses.kill_rules(function, mode)
+        self.ssa = self.rules.ssa
+        self.loops = analyses.loops(function)
         self.pool = ResourcePool(function, self.rules)
-        self.loops = LoopForest(function, self.ssa.domtree)
         self.traversal = traversal
         self.stats = CoalescingStats()
 

@@ -35,7 +35,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
-from ..analysis.interference import SSAInterference
 from ..ir.cfg import split_critical_edges
 from ..ir.function import Function
 from ..ir.instructions import Instruction, Operand, make_copy
@@ -105,7 +104,8 @@ class _Classes:
 
 def sreedhar_to_cssa(function: Function,
                      pin_classes: bool = True,
-                     tracer=None) -> SreedharStats:
+                     tracer=None,
+                     analyses=None) -> SreedharStats:
     """Convert *function* to CSSA in place (Method III).
 
     With ``pin_classes`` (the default, = the paper's ``pinningCSSA``),
@@ -116,11 +116,18 @@ def sreedhar_to_cssa(function: Function,
     ``tracer`` records ``sreedhar.*`` counters mirroring every
     :class:`SreedharStats` field, plus one ``sreedhar.phi`` event per
     processed phi (operand count, interfering pairs, splits inserted).
+
+    ``analyses`` optionally supplies a shared
+    :class:`~repro.analysis.manager.AnalysisManager` for the SSA
+    interference bundle.
     """
     split_critical_edges(function)
     tracer = _resolve_tracer(tracer)
-    converter = _Converter(function, tracer)
+    converter = _Converter(function, tracer, analyses)
     stats = converter.run()
+    if stats.split_copies:
+        # Split copies were inserted and phi operands renamed.
+        function.bump_epoch()
     if pin_classes:
         stats.pinned = converter.pin_classes()
         if tracer.enabled:
@@ -130,10 +137,15 @@ def sreedhar_to_cssa(function: Function,
 
 
 class _Converter:
-    def __init__(self, function: Function, tracer=None) -> None:
+    def __init__(self, function: Function, tracer=None,
+                 analyses=None) -> None:
         self.function = function
         self.tracer = _resolve_tracer(tracer)
-        self.ssa = SSAInterference(function)
+        if analyses is None:
+            from ..analysis.manager import AnalysisManager
+
+            analyses = AnalysisManager()
+        self.ssa = analyses.ssa(function)
         self.classes = _Classes()
         self.stats = SreedharStats()
         # Batched physical edits: copies at block ends / tops.

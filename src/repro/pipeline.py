@@ -30,6 +30,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from .analysis.manager import AnalysisManager
 from .interp import run_module
 from .ir.function import Function, Module
 from .ir.validate import validate_function
@@ -92,6 +93,10 @@ class ExperimentResult:
     phase_breakdown: list = field(default_factory=list)
     #: The tracer the experiment ran under (NULL_TRACER by default).
     tracer: object = NULL_TRACER
+    #: Shared-analysis cache behaviour over the whole run
+    #: (hits/misses/invalidations/preserved, from
+    #: :meth:`repro.analysis.manager.AnalysisManager.stats`).
+    analysis_cache: dict = field(default_factory=dict)
 
     def row(self) -> tuple:
         return (self.name, self.moves, self.weighted)
@@ -109,6 +114,7 @@ class ExperimentResult:
             "phase_stats": jsonable(self.phase_stats),
             "counters": dict(tracer.counters) if tracer.enabled else {},
             "events": len(tracer.events) if tracer.enabled else 0,
+            "analysis_cache": dict(self.analysis_cache),
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -139,6 +145,29 @@ EXPERIMENTS: dict[str, tuple[str, ...]] = {
     "Sphi": ("ssa", "copyprop", "pinningSP", "sreedhar", "out-of-pinned-ssa",
              "naiveABI"),
     "LABI": ("ssa", "copyprop", "pinningSP", "pinningABI", "out-of-pinned-ssa"),
+}
+
+#: What each phase declares it *preserves* of the shared analysis cache
+#: even though it mutated the IR (consumed by
+#: :meth:`repro.analysis.manager.AnalysisManager.invalidate` after the
+#: phase ran).  Pin-only phases (``pinningSP``/``pinningABI``/
+#: ``pinningPhi``) never bump the mutation epoch -- pins are resources,
+#: not IR -- so their caches survive by epoch equality alone; declaring
+#: ``"all"`` documents the contract and keeps them preserved even if a
+#: future edit makes them touch the body.  Rewriting phases preserve
+#: nothing: their own epoch bumps discard stale entries.  Dominator
+#: trees and loop forests are keyed to the *CFG* epoch and therefore
+#: survive every straight-line rewrite with no declaration needed.
+PHASE_PRESERVES: dict[str, frozenset] = {
+    "ssa": frozenset(),
+    "copyprop": frozenset(),
+    "pinningSP": frozenset({"all"}),
+    "pinningABI": frozenset({"all"}),
+    "sreedhar": frozenset(),
+    "pinningPhi": frozenset({"all"}),
+    "out-of-pinned-ssa": frozenset(),
+    "naiveABI": frozenset(),
+    "coalescing": frozenset(),
 }
 
 #: Paper table -> experiments, first column is the baseline the deltas
@@ -219,6 +248,7 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
     work = module.copy()
     result = ExperimentResult(name=name, module=work, tracer=tracer)
     references = {}
+    manager = AnalysisManager(tracer)
     with tracer.span(f"experiment:{name}", experiment=name):
         if verify:
             with tracer.span("verify:before"):
@@ -243,10 +273,12 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
                     stats = {f.name: pinning_sp(f, target)
                              for f in work.iter_functions()}
                 elif phase == "pinningABI":
-                    stats = {f.name: pinning_abi(f, target)
+                    stats = {f.name: pinning_abi(f, target,
+                                                 analyses=manager)
                              for f in work.iter_functions()}
                 elif phase == "sreedhar":
-                    stats = {f.name: sreedhar_to_cssa(f, tracer=tracer)
+                    stats = {f.name: sreedhar_to_cssa(f, tracer=tracer,
+                                                      analyses=manager)
                              for f in work.iter_functions()}
                 elif phase == "pinningPhi":
                     stats = {f.name: coalesce_phis(
@@ -256,20 +288,24 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
                         traversal=options.traversal,
                         weight_ordered=options.weight_ordered,
                         phys_affinity=options.phys_affinity,
-                        tracer=tracer)
+                        tracer=tracer, analyses=manager)
                         for f in work.iter_functions()}
                 elif phase == "out-of-pinned-ssa":
-                    stats = {f.name: out_of_pinned_ssa(f)
+                    stats = {f.name: out_of_pinned_ssa(f, analyses=manager)
                              for f in work.iter_functions()}
                     in_ssa = False
                 elif phase == "naiveABI":
                     stats = {f.name: naive_abi(f, target)
                              for f in work.iter_functions()}
                 elif phase == "coalescing":
-                    stats = {f.name: aggressive_coalesce(f, tracer=tracer)
+                    stats = {f.name: aggressive_coalesce(f, tracer=tracer,
+                                                         analyses=manager)
                              for f in work.iter_functions()}
                 else:
                     raise ValueError(f"unknown phase {phase!r}")
+            for function in work.iter_functions():
+                manager.invalidate(function,
+                                   preserves=PHASE_PRESERVES[phase])
             if stats is not None:
                 result.phase_stats[phase] = stats
             if tracer.enabled:
@@ -295,6 +331,7 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
         result.moves = count_moves(work)
         result.weighted = weighted_moves(work)
         result.instructions = count_instructions(work)
+        result.analysis_cache = manager.stats()
     return result
 
 

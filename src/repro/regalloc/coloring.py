@@ -29,7 +29,6 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..analysis.interference import InterferenceGraph
-from ..analysis.liveness import Liveness
 from ..ir.function import Function
 from ..ir.instructions import Instruction, Operand
 from ..ir.types import PhysReg, RegClass, Var
@@ -55,8 +54,15 @@ class AllocationResult:
 def allocate_function(function: Function, target: Target = ST120,
                       gpr_pool: Optional[list[str]] = None,
                       coalesce: bool = True,
-                      max_rounds: int = 12) -> AllocationResult:
-    """Allocate registers for *function* in place."""
+                      max_rounds: int = 12,
+                      analyses=None) -> AllocationResult:
+    """Allocate registers for *function* in place.
+
+    ``analyses`` optionally supplies the shared
+    :class:`~repro.analysis.manager.AnalysisManager`; each round takes
+    liveness from it (the interference graph stays private because
+    coalescing merges nodes destructively).
+    """
     pools = {
         RegClass.GPR: [target.reg(n) for n in
                        (gpr_pool or [f"R{i}" for i in range(8)])],
@@ -69,12 +75,14 @@ def allocate_function(function: Function, target: Target = ST120,
     spill_temps: set[Var] = set()
     for round_index in range(max_rounds):
         result.rounds = round_index + 1
-        allocator = _Round(function, pools, coalesce, spill_temps)
+        allocator = _Round(function, pools, coalesce, spill_temps,
+                           analyses)
         spills = allocator.run()
         result.coalesced_moves += allocator.coalesced
         if not spills:
             result.assignment = allocator.assignment
             _rewrite(function, allocator.assignment, allocator.alias)
+            function.bump_epoch()
             return result
         if all(var in spill_temps for var in spills):
             # Even minimal-range reload temporaries do not fit: some
@@ -92,18 +100,25 @@ def allocate_function(function: Function, target: Target = ST120,
         result.spilled.extend(spills)
         result.spill_instructions += insert_spill_code(
             function, new_slots, temps_out=spill_temps)
+        function.bump_epoch()
     raise AllocationError(
         f"{function.name}: no convergence after {max_rounds} rounds")
 
 
 class _Round:
     def __init__(self, function: Function, pools, coalesce: bool,
-                 no_respill: "set[Var] | None" = None) -> None:
+                 no_respill: "set[Var] | None" = None,
+                 analyses=None) -> None:
         self.function = function
         self.pools = pools
         self.want_coalesce = coalesce
         self.no_respill = no_respill or set()
-        self.graph = InterferenceGraph(function, Liveness(function))
+        if analyses is None:
+            from ..analysis.manager import AnalysisManager
+
+            analyses = AnalysisManager()
+        self.graph = InterferenceGraph(function,
+                                       analyses.liveness(function))
         self.alias: dict[Var, object] = {}
         self.assignment: dict[Var, PhysReg] = {}
         self.coalesced = 0

@@ -43,6 +43,9 @@ def construct_ssa(function: Function, prune: bool = True) -> None:
     remove_unreachable_blocks(function)
     split_critical_edges(function)
     _Builder(function, prune).run()
+    # Renaming rewrote every operand and inserted phis: any analysis
+    # computed on the pre-SSA body is stale.
+    function.bump_epoch()
 
 
 class _Builder:

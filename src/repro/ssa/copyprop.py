@@ -57,6 +57,8 @@ def propagate_copies(function: Function) -> int:
                         continue  # a pinned use cannot become immediate
                     instr.uses[i] = Operand(target, op.pin, is_def=False)
                     changed += 1
+    if changed:
+        function.bump_epoch()
     return changed
 
 
@@ -93,6 +95,8 @@ def eliminate_dead_code(function: Function) -> int:
             block.body = new_body
         removed += round_removed
         if round_removed == 0:
+            if removed:
+                function.bump_epoch()
             return removed
 
 

@@ -25,6 +25,56 @@ def assert_same_sets(function):
         assert dataflow.live_out[label] == by_var_out[label], \
             (function.name, label, "live_out",
              dataflow.live_out[label] ^ by_var_out[label])
+    assert_per_point_agree(function, dataflow, by_var_in, by_var_out)
+
+
+def _trackable(value):
+    from repro.ir.types import PhysReg, Var
+    return isinstance(value, (Var, PhysReg))
+
+
+def assert_per_point_agree(function, dataflow, by_var_in, by_var_out):
+    """The bitset per-point sweep must match a plain-set backward walk
+    seeded from the independent per-variable live-out sets, and the
+    mask-level twins must agree with their set counterparts."""
+    for label, block in function.blocks.items():
+        reference = set(by_var_out[label])
+        per_point = {}
+        for position in range(len(block.body) - 1, -1, -1):
+            per_point[position] = set(reference)
+            instr = block.body[position]
+            for op in instr.defs:
+                if _trackable(op.value):
+                    reference.discard(op.value)
+            for op in instr.uses:
+                if _trackable(op.value):
+                    reference.add(op.value)
+        per_point[-1] = set(reference)  # after the phi prefix
+        for position in range(-1, len(block.body)):
+            expected = per_point[position]
+            got = dataflow.live_after(label, position)
+            assert got == expected, (function.name, label, position,
+                                     got ^ expected)
+            assert set(dataflow.index.values_of(
+                dataflow.live_after_mask(label, position))) == expected
+            for value in expected:
+                assert dataflow.is_live_after(value, label, position)
+        # Mask accessors against the set-valued API.
+        assert dataflow.index.view(dataflow.live_in_mask(label)) \
+            == dataflow.live_in[label]
+        assert dataflow.index.view(dataflow.live_out_mask(label)) \
+            == dataflow.live_out[label]
+        # edge_kill_set == union over successors of live-in minus the
+        # successor's phi definitions (the Class 2 reference reading).
+        expected_kill = set()
+        for succ in block.successors():
+            phi_defs = {op.value
+                        for phi in function.blocks[succ].phis
+                        for op in phi.defs if _trackable(op.value)}
+            expected_kill |= set(by_var_in[succ]) - phi_defs
+        for succ in block.successors():
+            assert dataflow.edge_kill_set(label, succ) == expected_kill, \
+                (function.name, label, succ)
 
 
 @pytest.mark.parametrize("name,src,_runs", KERNELS,
