@@ -24,6 +24,22 @@ if _SRC not in sys.path:
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", action="store", type=int, default=None, metavar="N",
+        help="worker processes for the compile-time benchmarks "
+             "(0 = all cores; default $REPRO_JOBS or 1 = serial); "
+             "non-timing output is identical at any job count")
+
+
+@pytest.fixture(scope="session")
+def jobs(request):
+    """The resolved ``--jobs`` worker count for parallel benchmarks."""
+    from repro.parallel import resolve_jobs
+
+    return resolve_jobs(request.config.getoption("--jobs"))
+
+
 @pytest.fixture(scope="session")
 def suites():
     """The five simulated suites, loaded once per session."""

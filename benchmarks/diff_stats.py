@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Compare two stats JSON files ignoring timing fields.
+
+Usage::
+
+    python benchmarks/diff_stats.py SERIAL.json PARALLEL.json
+
+The parallel engine (``--jobs``) promises that every *non-timing*
+field of a ``repro.stats`` document is identical at any job count.
+This script enforces that promise in CI: it loads two documents (or
+``repro.stats-collection`` files), strips the documented
+non-deterministic fields -- the ``parallel`` block and per-phase
+``seq``/``start_ns``/``duration_ns`` -- and reports the first path at
+which the remainders differ.  Exit status 0 means equal, 1 means a
+real divergence, 2 means usage/IO error.
+"""
+
+import json
+import sys
+
+TIMING_KEYS = ("seq", "start_ns", "duration_ns")
+
+
+def strip_timing(document):
+    """Return *document* minus the documented non-deterministic fields."""
+    if isinstance(document, dict) and "runs" in document:
+        return {**document,
+                "runs": [strip_timing(run) for run in document["runs"]]}
+    document = dict(document)
+    document.pop("parallel", None)
+    phases = []
+    for entry in document.get("phases", ()):
+        entry = {k: v for k, v in entry.items() if k not in TIMING_KEYS}
+        phases.append(entry)
+    if "phases" in document:
+        document["phases"] = phases
+    return document
+
+
+def first_difference(left, right, path="$"):
+    """The path + values of the first mismatch, or ``None`` if equal."""
+    if type(left) is not type(right):
+        return (path, left, right)
+    if isinstance(left, dict):
+        for key in sorted(set(left) | set(right)):
+            if key not in left or key not in right:
+                return (f"{path}.{key}",
+                        left.get(key, "<missing>"),
+                        right.get(key, "<missing>"))
+            found = first_difference(left[key], right[key], f"{path}.{key}")
+            if found:
+                return found
+        return None
+    if isinstance(left, list):
+        if len(left) != len(right):
+            return (path, f"list of {len(left)}", f"list of {len(right)}")
+        for index, (a, b) in enumerate(zip(left, right)):
+            found = first_difference(a, b, f"{path}[{index}]")
+            if found:
+                return found
+        return None
+    if left != right:
+        return (path, left, right)
+    return None
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(argv[1]) as handle:
+            left = json.load(handle)
+        with open(argv[2]) as handle:
+            right = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    found = first_difference(strip_timing(left), strip_timing(right))
+    if found:
+        path, a, b = found
+        print(f"STATS DIVERGED at {path}:\n  {argv[1]}: {a!r}\n"
+              f"  {argv[2]}: {b!r}", file=sys.stderr)
+        return 1
+    print(f"stats identical modulo timing: {argv[1]} == {argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

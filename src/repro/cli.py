@@ -36,7 +36,7 @@ from .lai import LaiSyntaxError, parse_module
 from .observability import (COLLECTION_SCHEMA, Tracer, phase_table,
                             summary, write_chrome_trace)
 from .pipeline import (EXPERIMENTS, PhaseOptions, run_experiment,
-                       table5_variants)
+                       run_experiments, run_table, table5_variants)
 
 
 def _load(path: str):
@@ -99,7 +99,7 @@ def cmd_compile(args) -> int:
     tracer = _tracer_for(args)
     result = run_experiment(module, args.experiment,
                             options=_options(args), verify=verify,
-                            tracer=tracer)
+                            tracer=tracer, jobs=args.jobs)
     if args.trace:
         write_chrome_trace(tracer, args.trace)
     if args.stats_json:
@@ -139,9 +139,7 @@ def cmd_run(args) -> int:
 
 def cmd_experiments(args) -> int:
     module = _load(args.file)
-    results = []
-    for name in EXPERIMENTS:
-        results.append(run_experiment(module, name, tracer=Tracer()))
+    results = run_experiments(module, tracer=Tracer, jobs=args.jobs)
     if args.stats_json:
         _write_json(args.stats_json,
                     {"schema": COLLECTION_SCHEMA,
@@ -173,11 +171,11 @@ def cmd_tables(args) -> int:
             e.rjust(14) for e in experiments)
         print(header)
         for suite in suites:
+            results = run_table(suite.module, table,
+                                tracer=Tracer if args.stats_json else None,
+                                jobs=args.jobs)
             cells = []
-            for experiment in experiments:
-                tracer = Tracer() if args.stats_json else None
-                result = run_experiment(suite.module, experiment,
-                                        tracer=tracer)
+            for result in results:
                 value = result.weighted if args.weighted else result.moves
                 cells.append(str(value).rjust(14))
                 if args.stats_json:
@@ -190,6 +188,13 @@ def cmd_tables(args) -> int:
         _write_json(args.stats_json,
                     {"schema": COLLECTION_SCHEMA, "runs": runs})
     return 0
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for parallel compilation "
+                             "(0 = all cores; default $REPRO_JOBS or 1; "
+                             "output is identical at any job count)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -223,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("-v", "--verbose", action="store_true",
                            help="print the per-phase breakdown and span "
                                 "summary to stderr")
+    _add_jobs(compile_p)
     compile_p.set_defaults(fn=cmd_compile)
 
     run_p = sub.add_parser("run", help="interpret a function")
@@ -243,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "repro.stats-collection/v1 JSON on stdout")
     exp_p.add_argument("--stats-json", metavar="FILE",
                        help="also write the stats collection here")
+    _add_jobs(exp_p)
     exp_p.set_defaults(fn=cmd_experiments)
 
     tables_p = sub.add_parser(
@@ -252,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     tables_p.add_argument("--stats-json", metavar="FILE",
                           help="write every run's stats as a "
                                "repro.stats-collection/v1 JSON document")
+    _add_jobs(tables_p)
     tables_p.set_defaults(fn=cmd_tables)
     return parser
 

@@ -3,15 +3,19 @@
 Two document shapes are emitted by the CLI and the benchmark harness
 (see ``docs/observability.md`` for the field-by-field reference):
 
-``repro.stats/v1.1``
+``repro.stats/v1.2``
     One experiment run: totals, the per-phase breakdown (timing plus
     move/instruction/phi deltas per function), raw per-phase pass
-    statistics, counters, the event count and -- new in v1.1 -- the
-    ``analysis_cache`` block summarizing shared-analysis reuse
+    statistics, counters, the event count, the ``analysis_cache``
+    block (v1.1) summarizing shared-analysis reuse
     (hits/misses/invalidations/preserved, from
-    :class:`repro.analysis.manager.AnalysisManager`).  Produced by
+    :class:`repro.analysis.manager.AnalysisManager`) and -- new in
+    v1.2 -- the optional ``parallel`` block describing the fork-pool
+    execution (worker count, shard sizes, per-worker wall time, merge
+    time; see :mod:`repro.parallel`).  Produced by
     :meth:`repro.pipeline.ExperimentResult.to_stats`.  ``repro.stats/v1``
-    documents (no ``analysis_cache``) remain valid input.
+    and ``v1.1`` documents (no ``parallel`` / ``analysis_cache``
+    blocks) remain valid input.
 
 ``repro.stats-collection/v1``
     ``{"schema": ..., "runs": [<stats doc>, ...]}`` -- many runs in one
@@ -32,16 +36,23 @@ from __future__ import annotations
 import json
 from typing import Any
 
-STATS_SCHEMA = "repro.stats/v1.1"
+STATS_SCHEMA = "repro.stats/v1.2"
 COLLECTION_SCHEMA = "repro.stats-collection/v1"
 
 #: Schemas consumers must accept: the current one plus every prior
-#: minor revision (v1 documents simply lack the ``analysis_cache``
-#: block introduced in v1.1).
-ACCEPTED_STATS_SCHEMAS = ("repro.stats/v1", "repro.stats/v1.1")
+#: minor revision (v1 documents lack the ``analysis_cache`` block
+#: introduced in v1.1; v1.1 documents lack the ``parallel`` block
+#: introduced in v1.2).
+ACCEPTED_STATS_SCHEMAS = ("repro.stats/v1", "repro.stats/v1.1",
+                          "repro.stats/v1.2")
 
 #: The integer fields of the optional ``analysis_cache`` block.
 ANALYSIS_CACHE_KEYS = ("hits", "misses", "invalidations", "preserved")
+
+#: The required integer fields of the optional ``parallel`` block and
+#: of each of its ``shards[]`` entries.
+PARALLEL_KEYS = ("jobs", "workers", "merge_ns")
+SHARD_KEYS = ("worker", "functions", "wall_ns")
 
 #: The integer fields of every ``delta`` object.
 DELTA_KEYS = ("instructions", "moves", "phis",
@@ -129,6 +140,19 @@ def validate_stats(doc: Any, where: str = "$") -> None:
     if cache:  # optional; absent in v1 documents, may be empty in v1.1
         _validate_measures(cache, ANALYSIS_CACHE_KEYS,
                            f"{where}.analysis_cache")
+    parallel = doc.get("parallel")
+    if parallel:  # optional; absent in serial runs and pre-v1.2 docs
+        _validate_parallel(parallel, f"{where}.parallel")
+
+
+def _validate_parallel(block: Any, where: str) -> None:
+    _validate_measures(block, PARALLEL_KEYS, where)
+    _expect(isinstance(block.get("mode"), str), where,
+            "'mode' must be a string")
+    shards = block.get("shards")
+    _expect(isinstance(shards, list), where, "'shards' must be a list")
+    for i, shard in enumerate(shards):
+        _validate_measures(shard, SHARD_KEYS, f"{where}.shards[{i}]")
 
 
 def validate_stats_file(path: str) -> dict:

@@ -36,10 +36,14 @@ def sequentialize_pairs(pairs: list[tuple[Value, Value]],
     Raises ``ValueError`` when two pairs write the same destination --
     a malformed parallel copy that would be silently nondeterministic.
     """
-    todo = [(d, s) for d, s in pairs if d != s]
-    dests = [d for d, _ in todo]
+    # Duplicate destinations must be rejected on the *original* pair
+    # list: filtering self-copies first would let a malformed copy like
+    # ``[(x, x), (x, y)]`` slip past the guard and be sequentialized
+    # nondeterministically.
+    dests = [d for d, _ in pairs]
     if len(set(dests)) != len(dests):
         raise ValueError(f"parallel copy writes a destination twice: {pairs}")
+    todo = [(d, s) for d, s in pairs if d != s]
 
     # Boissinot et al.'s sequentialization: ``loc(v)`` is where the
     # original value of v currently lives, ``pred(b)`` the value wanted

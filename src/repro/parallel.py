@@ -1,0 +1,431 @@
+"""Parallel compilation driver: fork-pool sharding with deterministic merge.
+
+Every phase of every experiment processes functions independently (the
+same per-function independence the paper's Tables 2-5 rely on), so a
+module can be *sharded*: split its functions across worker processes,
+run the full phase pipeline on each shard with a private
+:class:`~repro.analysis.manager.AnalysisManager`, then merge the
+results.  At the outer level, whole experiments of a table are equally
+independent and shard the same way.
+
+The merge layer is the actual contract of this module: paper-metric
+output must be **byte-identical at any job count**.  That means nothing
+may depend on worker arrival order --
+
+* the merged module lists functions in the *input module's* order, not
+  shard order;
+* ``phase_stats`` and every ``phases[]`` breakdown entry re-sequence
+  their per-function payloads by a stable ``(phase, function)`` order;
+* tracer counters, event counts and ``analysis_cache`` totals are
+  summed per key (summation is order-free);
+* worker span/event records are grafted into the parent tracer in
+  shard-index order with renumbered ``seq``/rebased timestamps, so a
+  ``--trace`` of a parallel run is one coherent Chrome trace.
+
+Sharding uses a deterministic greedy LPT partition by instruction
+count.  The driver falls back to the serial path when ``jobs`` resolves
+to 1, when the module has at most one function, when the platform lacks
+the ``fork`` start method (worker state is inherited by forking, never
+pickled), or when a worker process dies (``BrokenProcessPool``).
+Worker *exceptions* are not swallowed: a validation failure raises
+exactly as it would serially.
+
+``jobs`` semantics everywhere (``run_experiment``, ``run_table``,
+``run_table5``, the CLI ``--jobs`` and the benchmark harness):
+``None`` reads ``$REPRO_JOBS`` (default 1), ``0`` means all cores,
+``1`` is serial, ``N>1`` uses at most N workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional, Sequence
+
+from .ir.function import Module
+from .machine.st120 import ST120
+from .machine.target import Target
+from .metrics import count_instructions, count_moves, weighted_moves
+from .observability import Tracer
+from .observability import resolve as resolve_tracer
+
+#: The integer keys of the ``analysis_cache`` block, in the canonical
+#: order :meth:`AnalysisManager.stats` emits them.
+_CACHE_KEYS = ("hits", "misses", "invalidations", "preserved")
+
+
+# ----------------------------------------------------------------------
+# Job resolution and platform capability
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Resolve a ``jobs=`` argument to a concrete worker count.
+
+    ``None`` consults the ``REPRO_JOBS`` environment variable (default
+    1, which is the serial path); ``0`` means one worker per CPU core;
+    anything else is clamped to at least 1.
+    """
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        except ValueError:
+            jobs = 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers (worker state is passed
+    by fork-time inheritance, so ``spawn``-only platforms run serially)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def partition_functions(module: Module, workers: int) -> list[list[str]]:
+    """Deterministic LPT partition of the module's function names.
+
+    Functions are sorted by instruction count (descending, original
+    module order as tie-break) and greedily assigned to the least
+    loaded shard (lowest index on ties) -- load balance without any
+    dependence on hashing or arrival order.  Empty shards are dropped.
+    """
+    weighted = sorted(
+        ((count_instructions(f), i, f.name)
+         for i, f in enumerate(module.iter_functions())),
+        key=lambda t: (-t[0], t[1]))
+    shards: list[list[str]] = [[] for _ in range(max(1, workers))]
+    loads = [0] * len(shards)
+    for weight, _, name in weighted:
+        target = min(range(len(shards)), key=lambda j: (loads[j], j))
+        shards[target].append(name)
+        loads[target] += weight
+    return [shard for shard in shards if shard]
+
+
+# ----------------------------------------------------------------------
+# Worker side.  State reaches workers by fork-time inheritance of this
+# module-level global -- nothing is pickled on the way in; only the
+# (small) shard spec and the (picklable) result payload cross the pipe.
+# ----------------------------------------------------------------------
+_WORKER_STATE = None
+
+
+def _shard_task(spec):
+    """Run the phase pipeline on one function shard (worker process)."""
+    from . import pipeline as _pipeline
+
+    index, names = spec
+    module, name, phases, options, target, validate, traced = _WORKER_STATE
+    shard = Module(module.name)
+    for fn_name in names:
+        shard.add_function(module.functions[fn_name])  # run_phases copies
+    tracer = Tracer() if traced else None
+    start = time.perf_counter_ns()
+    result = _pipeline.run_phases(shard, name, phases, options, target,
+                                  None, validate, tracer)
+    return index, _result_payload(result, time.perf_counter_ns() - start)
+
+
+def _experiment_task(spec):
+    """Run one whole experiment serially (worker process)."""
+    from . import pipeline as _pipeline
+
+    index, label, name, options = spec
+    module, verify, validate, traced, target = _WORKER_STATE
+    tracer = Tracer() if traced else None
+    start = time.perf_counter_ns()
+    result = _pipeline.run_phases(module, name, _pipeline.EXPERIMENTS[name],
+                                  options, target, verify, validate, tracer)
+    payload = _result_payload(result, time.perf_counter_ns() - start)
+    return index, label, payload
+
+
+def _result_payload(result, wall_ns: int) -> dict:
+    """The picklable slice of an :class:`ExperimentResult` a worker
+    sends back (the module's externals -- arbitrary callables -- and
+    the live tracer object stay behind)."""
+    tracer = result.tracer
+    return {
+        "functions": dict(result.module.functions),
+        "moves": result.moves,
+        "weighted": result.weighted,
+        "instructions": result.instructions,
+        "phase_stats": result.phase_stats,
+        "phase_breakdown": result.phase_breakdown,
+        "analysis_cache": result.analysis_cache,
+        "tracer": _tracer_payload(tracer) if tracer.enabled else None,
+        "wall_ns": wall_ns,
+    }
+
+
+def _tracer_payload(tracer: Tracer) -> dict:
+    return {"spans": tracer.spans, "events": tracer.events,
+            "counters": tracer.counters, "epoch_ns": tracer.epoch_ns,
+            "seq": tracer._seq}
+
+
+# ----------------------------------------------------------------------
+# Pool driver
+# ----------------------------------------------------------------------
+def _run_pool(state, task, specs, workers: int):
+    """Fork *workers* processes inheriting *state* and map *task* over
+    *specs*.  Returns the results in submission order, or ``None`` when
+    the pool infrastructure broke (a worker died) -- worker *Python*
+    exceptions propagate unchanged."""
+    global _WORKER_STATE
+    context = multiprocessing.get_context("fork")
+    _WORKER_STATE = state
+    try:
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            futures = [pool.submit(task, spec) for spec in specs]
+            return [future.result() for future in futures]
+    except (BrokenProcessPool, OSError):
+        return None
+    finally:
+        _WORKER_STATE = None
+
+
+# ----------------------------------------------------------------------
+# Deterministic merging
+# ----------------------------------------------------------------------
+def _graft_tracer(parent: Tracer, payload: Optional[dict],
+                  root_seq: Optional[int], depth_offset: int) -> None:
+    """Splice a worker tracer's records into *parent*.
+
+    Sequence numbers are renumbered into a fresh block of the parent's
+    counter (so seqs stay unique and worker blocks sit in shard-index
+    order); timestamps are rebased from the worker's perf-counter epoch
+    to the parent's (``CLOCK_MONOTONIC`` is system-wide under fork);
+    worker top-level spans are re-parented under *root_seq*.
+    """
+    if payload is None:
+        return
+    base = parent._seq
+    shift = payload["epoch_ns"] - parent.epoch_ns
+    for span in payload["spans"]:
+        span.seq += base
+        span.parent = span.parent + base if span.parent is not None \
+            else root_seq
+        span.depth += depth_offset
+        span.start_ns += shift
+        span.wall_start = parent.epoch_wall + span.start_ns / 1e9
+        parent.spans.append(span)
+    for event in payload["events"]:
+        event.seq += base
+        event.ts_ns += shift
+        event.span = event.span + base if event.span is not None \
+            else root_seq
+        parent.events.append(event)
+    for key, value in payload["counters"].items():
+        parent.counters[key] = parent.counters.get(key, 0) + value
+    parent._seq = base + payload["seq"]
+
+
+def _merge_module(module: Module, payloads: Sequence[dict]) -> Module:
+    """Transformed functions re-assembled in the input module's order."""
+    transformed: dict = {}
+    for payload in payloads:
+        transformed.update(payload["functions"])
+    merged = Module(module.name)
+    for fn_name in module.functions:
+        merged.add_function(transformed[fn_name])
+    merged.externals = dict(module.externals)
+    return merged
+
+
+def _merge_phase_stats(payloads: Sequence[dict],
+                       order: dict[str, int]) -> dict:
+    """Per-phase pass statistics, function keys in module order."""
+    merged: dict = {}
+    for payload in payloads:
+        for phase, stats in payload["phase_stats"].items():
+            merged.setdefault(phase, {}).update(stats)
+    return {phase: {name: stats[name]
+                    for name in sorted(stats, key=order.__getitem__)}
+            for phase, stats in merged.items()}
+
+
+def _merge_phase_breakdown(payloads: Sequence[dict],
+                           order: dict[str, int]) -> list:
+    """The ``phases[]`` entries, re-sequenced by the stable
+    ``(phase, function)`` order.  Non-timing content equals the serial
+    entry exactly; ``seq``/``start_ns``/``duration_ns`` become the
+    phase index, the earliest worker start and the slowest worker
+    duration (the documented non-deterministic timing fields)."""
+    breakdowns = [p["phase_breakdown"] for p in payloads]
+    merged = []
+    for i in range(max((len(b) for b in breakdowns), default=0)):
+        entries = [b[i] for b in breakdowns if i < len(b)]
+        functions: dict = {}
+        for entry in entries:
+            functions.update(entry["functions"])
+        functions = {name: functions[name]
+                     for name in sorted(functions, key=order.__getitem__)}
+        totals = {key: sum(per_fn["delta"][key]
+                           for per_fn in functions.values())
+                  for key in ("instructions", "moves", "phis")}
+        moves_delta = totals["moves"]
+        merged.append({
+            "phase": entries[0]["phase"],
+            "seq": i,
+            "start_ns": min(e["start_ns"] for e in entries),
+            "duration_ns": max(e["duration_ns"] for e in entries),
+            "delta": {**totals,
+                      "copies_inserted": max(moves_delta, 0),
+                      "copies_removed": max(-moves_delta, 0)},
+            "functions": functions,
+        })
+    return merged
+
+
+def _merge_cache_stats(payloads: Sequence[dict]) -> dict:
+    return {key: sum(p["analysis_cache"].get(key, 0) for p in payloads)
+            for key in _CACHE_KEYS}
+
+
+# ----------------------------------------------------------------------
+# Function-level parallel experiment
+# ----------------------------------------------------------------------
+def run_phases_parallel(module: Module, name: str, phases,
+                        options=None, target: Target = ST120,
+                        verify=None, validate: bool = True,
+                        tracer=None, jobs: Optional[int] = None):
+    """Parallel twin of :func:`repro.pipeline.run_phases`.
+
+    Shards the module's functions across a fork pool, each worker
+    running its own :class:`AnalysisManager`, and merges the results
+    deterministically.  Semantic verification (``verify=``) runs in the
+    parent against the input and the *merged* module, reproducing the
+    serial interpreter work exactly.  Falls back to the serial path
+    whenever parallelism is unavailable or a worker dies.
+    """
+    from . import pipeline as _pipeline
+    from .interp import run_module
+
+    tracer = resolve_tracer(tracer)
+    phases = tuple(phases)
+    workers = min(resolve_jobs(jobs), len(module.functions))
+    if workers <= 1 or len(module.functions) <= 1 or not fork_available():
+        return _pipeline.run_phases(module, name, phases, options, target,
+                                    verify, validate, tracer)
+
+    shards = partition_functions(module, workers)
+    state = (module, name, phases, options, target, validate,
+             tracer.enabled)
+    pool_start = time.perf_counter_ns()
+    outcomes = _run_pool(state, _shard_task, list(enumerate(shards)),
+                         len(shards))
+    if outcomes is None:  # a worker died: degrade, don't fail
+        return _pipeline.run_phases(module, name, phases, options, target,
+                                    verify, validate, tracer)
+    pool_ns = time.perf_counter_ns() - pool_start
+    payloads = [payload for _, payload in sorted(outcomes)]
+
+    result = _pipeline.ExperimentResult(name=name, module=module,
+                                        tracer=tracer)
+    references = {}
+    with tracer.span(f"experiment:{name}", experiment=name) as root:
+        if verify:
+            with tracer.span("verify:before"):
+                for fn_name, args in verify:
+                    references[(fn_name, tuple(args))] = \
+                        run_module(module, fn_name, args,
+                                   tracer=tracer).observable()
+
+        merge_start = time.perf_counter_ns()
+        if tracer.enabled:
+            root_seq = root.seq
+            for payload in payloads:
+                _graft_tracer(tracer, payload["tracer"], root_seq,
+                              root.depth + 1)
+        order = {fn_name: i for i, fn_name in enumerate(module.functions)}
+        work = _merge_module(module, payloads)
+        result.module = work
+        result.phase_stats = _merge_phase_stats(payloads, order)
+        if tracer.enabled:
+            result.phase_breakdown = _merge_phase_breakdown(payloads, order)
+        result.analysis_cache = _merge_cache_stats(payloads)
+        merge_ns = time.perf_counter_ns() - merge_start
+
+        if references:
+            with tracer.span("verify:after"):
+                for key, reference in references.items():
+                    fn_name, args = key
+                    after = run_module(work, fn_name, args,
+                                       tracer=tracer).observable()
+                    if after != reference:
+                        raise AssertionError(
+                            f"{name}: {fn_name}{tuple(args)} changed "
+                            f"behaviour: {reference} -> {after}")
+
+        result.moves = count_moves(work)
+        result.weighted = weighted_moves(work)
+        result.instructions = count_instructions(work)
+        result.parallel = {
+            "mode": "functions",
+            "jobs": workers,
+            "workers": len(shards),
+            "pool_ns": pool_ns,
+            "merge_ns": merge_ns,
+            "shards": [{"worker": i, "functions": len(shard),
+                        "wall_ns": payloads[i]["wall_ns"]}
+                       for i, shard in enumerate(shards)],
+        }
+    return result
+
+
+# ----------------------------------------------------------------------
+# Experiment-level parallel tables
+# ----------------------------------------------------------------------
+def run_experiments_parallel(module: Module, specs, verify=None,
+                             validate: bool = True, traced: bool = False,
+                             target: Target = ST120,
+                             jobs: Optional[int] = None):
+    """Run ``(label, experiment, options)`` *specs* across a fork pool,
+    one whole experiment per task (the outer-level sharding used by
+    ``run_table``/``run_table5``/``repro experiments``).
+
+    Returns the :class:`ExperimentResult` list in spec order, or
+    ``None`` when parallelism is unavailable or the pool broke -- the
+    caller then runs its serial loop.
+    """
+    from . import pipeline as _pipeline
+
+    workers = min(resolve_jobs(jobs), len(specs))
+    if workers <= 1 or len(specs) <= 1 or not fork_available():
+        return None
+    state = (module, verify, validate, traced, target)
+    pool_specs = [(i, label, name, options)
+                  for i, (label, name, options) in enumerate(specs)]
+    outcomes = _run_pool(state, _experiment_task, pool_specs, workers)
+    if outcomes is None:
+        return None
+
+    results = []
+    for index, label, payload in sorted(outcomes):
+        merge_start = time.perf_counter_ns()
+        tracer = Tracer() if traced else None
+        if tracer is not None:
+            _graft_tracer(tracer, payload["tracer"], None, 0)
+        result = _pipeline.ExperimentResult(
+            name=label, module=_merge_module(module, [payload]),
+            moves=payload["moves"], weighted=payload["weighted"],
+            instructions=payload["instructions"],
+            phase_stats=payload["phase_stats"],
+            phase_breakdown=payload["phase_breakdown"],
+            tracer=resolve_tracer(tracer),
+            analysis_cache=payload["analysis_cache"])
+        result.parallel = {
+            "mode": "experiments",
+            "jobs": workers,
+            "workers": workers,
+            "merge_ns": time.perf_counter_ns() - merge_start,
+            "shards": [{"worker": index, "functions":
+                        len(payload["functions"]),
+                        "wall_ns": payload["wall_ns"]}],
+        }
+        results.append(result)
+    return results

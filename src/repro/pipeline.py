@@ -97,6 +97,10 @@ class ExperimentResult:
     #: (hits/misses/invalidations/preserved, from
     #: :meth:`repro.analysis.manager.AnalysisManager.stats`).
     analysis_cache: dict = field(default_factory=dict)
+    #: Parallel-execution breakdown (workers, shard sizes, per-worker
+    #: wall time, merge time) when the run used the fork-pool driver
+    #: (:mod:`repro.parallel`); empty for serial runs.
+    parallel: dict = field(default_factory=dict)
 
     def row(self) -> tuple:
         return (self.name, self.moves, self.weighted)
@@ -105,7 +109,7 @@ class ExperimentResult:
         """This result as a ``repro.stats/v1`` document (see
         :mod:`repro.observability.schema` and docs/observability.md)."""
         tracer = self.tracer
-        return {
+        document = {
             "schema": STATS_SCHEMA,
             "experiment": self.name,
             "totals": {"moves": self.moves, "weighted": self.weighted,
@@ -116,6 +120,9 @@ class ExperimentResult:
             "events": len(tracer.events) if tracer.enabled else 0,
             "analysis_cache": dict(self.analysis_cache),
         }
+        if self.parallel:
+            document["parallel"] = jsonable(self.parallel)
+        return document
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The stats document serialized to a JSON string."""
@@ -185,7 +192,8 @@ def run_experiment(module: Module, name: str,
                    verify: Optional[Sequence[tuple[str, Sequence[int]]]]
                    = None,
                    validate: bool = True,
-                   tracer=None) -> ExperimentResult:
+                   tracer=None,
+                   jobs: Optional[int] = None) -> ExperimentResult:
     """Run experiment *name* on a fresh copy of *module*.
 
     ``verify`` is an optional list of ``(function_name, args)`` pairs;
@@ -193,9 +201,21 @@ def run_experiment(module: Module, name: str,
     pipeline, making every experiment self-checking.  ``tracer`` (an
     :class:`repro.observability.Tracer`) records per-phase spans, IR
     deltas and decision counters; ``None`` installs the zero-overhead
-    null tracer.
+    null tracer.  ``jobs`` shards the module's functions across a
+    worker pool (see :mod:`repro.parallel`): ``None`` reads
+    ``$REPRO_JOBS`` (default 1 = serial), ``0`` uses every core;
+    results are merged deterministically, so output is identical at
+    any job count.
     """
     phases = EXPERIMENTS[name]
+    from .parallel import fork_available, resolve_jobs
+
+    if resolve_jobs(jobs) > 1 and len(module.functions) > 1 \
+            and fork_available():
+        from .parallel import run_phases_parallel
+
+        return run_phases_parallel(module, name, phases, options, target,
+                                   verify, validate, tracer, jobs=jobs)
     return run_phases(module, name, phases, options, target, verify,
                       validate, tracer)
 
@@ -214,9 +234,13 @@ def _phase_entry(phase: str, span, before: dict, after: dict) -> dict:
     functions = {}
     totals = {"instructions": 0, "moves": 0, "phis": 0}
     empty = {"instructions": 0, "moves": 0, "phis": 0}
-    for fname in after:
+    # Iterate the *union* of the two snapshots: a function present
+    # before the phase but absent after it (removed by the pass) must
+    # still contribute its (negative) delta, reported with an ``after``
+    # of zeros -- iterating only ``after`` under-reports removals.
+    for fname in {**before, **after}:
         b = before.get(fname, empty)
-        a = after[fname]
+        a = after.get(fname, empty)
         delta = {key: a[key] - b[key] for key in totals}
         functions[fname] = {"before": dict(b), "after": dict(a),
                             "delta": delta}
@@ -335,12 +359,64 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
     return result
 
 
+def _run_labelled(module: Module, specs, verify, validate, tracer,
+                  jobs) -> list[ExperimentResult]:
+    """Run ``(label, experiment, options)`` *specs*, serially or -- when
+    ``jobs`` allows -- one whole experiment per pool worker.
+
+    ``tracer`` may be a tracer instance (shared across all runs) or a
+    zero-argument factory such as the :class:`Tracer` class itself (one
+    fresh tracer per run, which is what per-run stats documents want).
+    The parallel path always gives each run its own tracer.
+    """
+    from .parallel import run_experiments_parallel
+
+    results = run_experiments_parallel(module, specs, verify=verify,
+                                       validate=validate,
+                                       traced=tracer is not None,
+                                       jobs=jobs)
+    if results is not None:
+        return results
+    results = []
+    for label, name, options in specs:
+        run_tracer = tracer() if callable(tracer) else tracer
+        result = run_experiment(module, name, options=options,
+                                verify=verify, validate=validate,
+                                tracer=run_tracer, jobs=1)
+        result.name = label
+        results.append(result)
+    return results
+
+
 def run_table(module: Module, table: str,
               verify: Optional[Sequence[tuple[str, Sequence[int]]]] = None,
-              ) -> list[ExperimentResult]:
-    """Run all experiments of one paper table on *module*."""
-    return [run_experiment(module, name, verify=verify)
-            for name in TABLE_EXPERIMENTS[table]]
+              options: Optional[PhaseOptions] = None,
+              validate: bool = True,
+              tracer=None,
+              jobs: Optional[int] = None) -> list[ExperimentResult]:
+    """Run all experiments of one paper table on *module*.
+
+    ``options``/``validate``/``tracer`` are forwarded to every
+    :func:`run_experiment`; ``tracer`` may be a factory (e.g. the
+    ``Tracer`` class) to give each run its own recording tracer.
+    ``jobs > 1`` shards whole experiments across a worker pool.
+    """
+    specs = [(name, name, options) for name in TABLE_EXPERIMENTS[table]]
+    return _run_labelled(module, specs, verify, validate, tracer, jobs)
+
+
+def run_experiments(module: Module,
+                    names: Optional[Sequence[str]] = None,
+                    verify: Optional[Sequence[tuple[str, Sequence[int]]]]
+                    = None,
+                    options: Optional[PhaseOptions] = None,
+                    validate: bool = True,
+                    tracer=None,
+                    jobs: Optional[int] = None) -> list[ExperimentResult]:
+    """Run several experiments (default: the whole Table 1 matrix) on
+    *module*, optionally sharding them across a worker pool."""
+    specs = [(name, name, options) for name in (names or EXPERIMENTS)]
+    return _run_labelled(module, specs, verify, validate, tracer, jobs)
 
 
 def table5_variants() -> dict[str, PhaseOptions]:
@@ -355,13 +431,11 @@ def table5_variants() -> dict[str, PhaseOptions]:
 
 def run_table5(module: Module,
                verify: Optional[Sequence[tuple[str, Sequence[int]]]] = None,
-               ) -> list[ExperimentResult]:
+               validate: bool = True,
+               tracer=None,
+               jobs: Optional[int] = None) -> list[ExperimentResult]:
     """Table 5: weighted move counts of the coalescer variants, using
     the full constrained pipeline (``Lφ,ABI+C``)."""
-    results = []
-    for label, options in table5_variants().items():
-        result = run_experiment(module, "Lphi,ABI+C", options=options,
-                                verify=verify)
-        result.name = label
-        results.append(result)
-    return results
+    specs = [(label, "Lphi,ABI+C", options)
+             for label, options in table5_variants().items()]
+    return _run_labelled(module, specs, verify, validate, tracer, jobs)

@@ -99,6 +99,22 @@ class TestBasics:
             sequentialize_pairs([(v("a"), v("b")), (v("a"), v("c"))],
                                 fresh_factory())
 
+    def test_duplicate_dest_behind_self_copy_rejected(self):
+        # Regression: the self-copy (x, x) used to be filtered out
+        # before the duplicate check, so [(x, x), (x, y)] slipped past
+        # the guard and was sequentialized nondeterministically.
+        with pytest.raises(ValueError):
+            sequentialize_pairs([(v("x"), v("x")), (v("x"), v("y"))],
+                                fresh_factory())
+        with pytest.raises(ValueError):
+            sequentialize_pairs([(v("x"), v("y")), (v("x"), v("x"))],
+                                fresh_factory())
+
+    def test_duplicate_self_copies_rejected(self):
+        with pytest.raises(ValueError):
+            sequentialize_pairs([(v("x"), v("x")), (v("x"), v("x"))],
+                                fresh_factory())
+
     def test_mixed_cycle_and_chain(self):
         check([(v("a"), v("b")), (v("b"), v("a")),
                (v("c"), v("a")), (v("d"), Imm(1))])
@@ -164,6 +180,77 @@ class TestPermutationProperties:
             if length > 1:
                 cycles += 1
         assert len(seq) == moved + cycles
+
+
+class TestMultiCycleProperties:
+    """Random parallel copies built from several disjoint cycles plus
+    chains, immediates and mixed register classes -- the emitted
+    sequence must always realize the parallel semantics."""
+
+    @given(st.lists(st.permutations(list(range(8))), min_size=1,
+                    max_size=3),
+           st.lists(st.tuples(st.integers(8, 12), st.integers(0, 7)),
+                    max_size=4),
+           st.lists(st.tuples(st.integers(13, 15),
+                              st.integers(100, 109)),
+                    max_size=3))
+    @settings(max_examples=200, deadline=None)
+    def test_cycles_chains_and_immediates(self, perms, chains, imms):
+        # Compose several permutations of the same 8 slots (a random
+        # member of the symmetric group, usually multi-cycle), then
+        # bolt on chain reads and immediate loads to fresh slots.
+        mapping = list(range(8))
+        for perm in perms:
+            mapping = [mapping[perm[i]] for i in range(8)]
+        pairs = [(v(f"x{i}"), v(f"x{mapping[i]}")) for i in range(8)
+                 if mapping[i] != i]
+        extras = {d: v(f"x{s}") for d, s in chains}
+        extras.update({d: Imm(value) for d, value in imms})
+        pairs += [(v(f"x{d}"), src) for d, src in extras.items()]
+        check(pairs)
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=100, deadline=None)
+    def test_mixed_regclasses(self, perm):
+        # Identity is name-only; values carrying different register
+        # classes must still sequentialize to the parallel semantics.
+        from repro.ir.types import RegClass
+
+        classes = [RegClass.GPR, RegClass.PTR, RegClass.GPR,
+                   RegClass.PTR, RegClass.GPR, RegClass.PTR]
+        names = [Var(f"x{i}", classes[i]) for i in range(6)]
+        check([(names[i], names[perm[i]]) for i in range(6)])
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=50, deadline=None)
+    def test_function_temps_match_regclass(self, perm):
+        """sequentialize_function breaks each cycle with a temporary of
+        the cycle representative's register class."""
+        from repro.ir.types import RegClass
+
+        func = Function("f")
+        block = func.add_block("entry")
+        classes = [RegClass.GPR, RegClass.PTR] * 3
+        names = [Var(f"x{i}", classes[i]) for i in range(6)]
+        block.append(Instruction(
+            "input", defs=[Operand(n, is_def=True) for n in names]))
+        pairs = [(names[i], names[perm[i]]) for i in range(6)]
+        block.append(make_pcopy(pairs))
+        block.append(Instruction("ret", uses=[Operand(names[0])]))
+        sequentialize_function(func)
+        by_name = {var.name: var for var in func.variables()}
+        emitted = [(i.defs[0].value, i.uses[0].value)
+                   for i in block.body if i.opcode == "copy"]
+        for dest, src in emitted:
+            if dest.name.startswith("swap"):
+                # the temp saves `src`'s value: classes must agree
+                assert by_name[dest.name].regclass == src.regclass
+        env = {n: 1000 + i for i, n in enumerate(names)}
+        expected = simulate_parallel([p for p in pairs if p[0] != p[1]],
+                                     env)
+        actual = simulate_sequence(emitted, env)
+        for key in expected:
+            assert actual[key] == expected[key]
 
 
 class TestFunctionLevel:
