@@ -1,0 +1,111 @@
+"""Measure the fork-pool parallel speedup and gate the PR 3 target.
+
+The parallel driver's wall-clock win is physically impossible to
+demonstrate on a 1-vCPU container (the committed numbers there show
+pure fork+merge overhead), so the measurement is deferred to any
+multi-core host -- in practice the CI ``bench-smoke`` runner: this
+script times ``run_experiment(..., jobs=1)`` against ``jobs=N`` per
+suite (min over several rounds, same process, back to back), rewrites
+the ``parallel`` block of ``BENCH_compile_time.json`` with what it
+measured, and -- only when the host actually has >= N cores -- fails
+if LAI_Large misses the recorded target (>= 1.5x over serial).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/parallel_speedup.py \
+        [--jobs 4] [--rounds 5] [--gate 1.5] \
+        [--update BENCH_compile_time.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+SUITE_NAMES = ("VALcc1", "LAI_Large", "SPECint")
+EXPERIMENT = "Lphi,ABI+C"
+GATED_SUITE = "LAI_Large"
+
+
+def min_seconds(fn, rounds: int) -> float:
+    fn()  # warm analyses, imports, fork machinery
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(jobs: int, rounds: int) -> dict:
+    from repro.benchgen import all_suites
+    from repro.pipeline import run_experiment
+
+    suites = {s.name: s for s in all_suites()}
+    rows: dict = {}
+    for name in SUITE_NAMES:
+        module = suites[name].module
+        serial_s = min_seconds(
+            lambda: run_experiment(module, EXPERIMENT, jobs=1), rounds)
+        jobsn_s = min_seconds(
+            lambda: run_experiment(module, EXPERIMENT, jobs=jobs), rounds)
+        rows[name] = {"serial_s": round(serial_s, 4),
+                      f"jobs{jobs}_s": round(jobsn_s, 4),
+                      "speedup": round(serial_s / jobsn_s, 2)}
+        print(f"{name}: serial {serial_s:.4f}s  jobs={jobs} "
+              f"{jobsn_s:.4f}s  ({serial_s / jobsn_s:.2f}x)")
+    return rows
+
+
+def update_summary(path: str, jobs: int, rows: dict, cpus: int) -> None:
+    with open(path) as handle:
+        summary = json.load(handle)
+    block = summary.setdefault("parallel", {})
+    block["host_cpus"] = cpus
+    block["suites"] = rows
+    if cpus >= jobs:
+        block["note"] = (
+            f"measured on a {cpus}-vCPU host; the >=1.5x LAI_Large "
+            f"jobs={jobs} target is enforced by "
+            f"benchmarks/parallel_speedup.py in CI bench-smoke.")
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--gate", type=float, default=1.5,
+                        help="minimum LAI_Large speedup on >=jobs-core "
+                             "hosts (0 disables)")
+    parser.add_argument("--update", metavar="SUMMARY_JSON", default=None,
+                        help="rewrite this file's 'parallel' block with "
+                             "the measurements")
+    args = parser.parse_args(argv)
+    cpus = os.cpu_count() or 1
+    print(f"host cpus: {cpus}, measuring jobs={args.jobs} "
+          f"over {args.rounds} rounds")
+    rows = measure(args.jobs, args.rounds)
+    if args.update:
+        update_summary(args.update, args.jobs, rows, cpus)
+    if cpus < args.jobs:
+        print(f"host has {cpus} < {args.jobs} cores: wall-clock speedup "
+              f"is not measurable here, gate skipped (see the committed "
+              f"'parallel' note in BENCH_compile_time.json)")
+        return 0
+    if args.gate:
+        speedup = rows[GATED_SUITE]["speedup"]
+        if speedup < args.gate:
+            print(f"FAIL: {GATED_SUITE} jobs={args.jobs} speedup "
+                  f"{speedup}x < required {args.gate}x")
+            return 1
+        print(f"gate ok: {GATED_SUITE} {speedup}x >= {args.gate}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

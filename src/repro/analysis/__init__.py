@@ -5,6 +5,7 @@ every pass."""
 from .bitset import BitSetView, VarIndex
 from .defuse import DefSite, DefUse, UseSite
 from .dominance import DominatorTree
+from .dominterf import InterferenceOracle, OracleStats, StrongSig
 from .interference import (InterferenceGraph, InterferenceMode, KillRules,
                            SSAInterference)
 from .liveness import Liveness
@@ -13,5 +14,6 @@ from .manager import AnalysisManager
 
 __all__ = ["AnalysisManager", "BitSetView", "VarIndex",
            "DefSite", "DefUse", "UseSite", "DominatorTree",
-           "InterferenceGraph", "InterferenceMode", "KillRules",
-           "SSAInterference", "Liveness", "Loop", "LoopForest"]
+           "InterferenceGraph", "InterferenceMode", "InterferenceOracle",
+           "KillRules", "OracleStats", "SSAInterference", "StrongSig",
+           "Liveness", "Loop", "LoopForest"]

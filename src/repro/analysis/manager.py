@@ -40,6 +40,7 @@ from ..ir.function import Function
 from .bitset import VarIndex
 from .defuse import DefUse
 from .dominance import DominatorTree
+from .dominterf import InterferenceOracle, OracleStats
 from .interference import (InterferenceGraph, InterferenceMode, KillRules,
                            SSAInterference)
 from .liveness import Liveness
@@ -61,6 +62,7 @@ class AnalysisManager:
         self.misses = 0
         self.invalidations = 0
         self.preserved = 0
+        self.oracle_stats = OracleStats()
         tracer = resolve_tracer(tracer)
         self._hit_counter = tracer.counter("analysis.hits")
         self._miss_counter = tracer.counter("analysis.misses")
@@ -125,7 +127,9 @@ class AnalysisManager:
         """Counter snapshot for the ``repro.stats`` payload."""
         return {"hits": self.hits, "misses": self.misses,
                 "invalidations": self.invalidations,
-                "preserved": self.preserved}
+                "preserved": self.preserved,
+                "oracle_hits": self.oracle_stats.hits,
+                "oracle_misses": self.oracle_stats.misses}
 
     # ------------------------------------------------------------------
     # Analysis getters
@@ -167,6 +171,21 @@ class AnalysisManager:
         so ABI pinning and the coalescer share one memo table."""
         return self._get(function, f"killrules:{mode}",
                          lambda: KillRules(self.ssa(function), mode))
+
+    def dominterf(self, function: Function,
+                  mode: InterferenceMode = "base") -> InterferenceOracle:
+        """The query-based interference oracle (see
+        :mod:`repro.analysis.dominterf`): memoized pairwise
+        ``interfere`` / ``strongly_interfere`` / ``variable_kills`` over
+        the cached SSA bundle, never materializing the V x V graph.
+        Cached per mode like :meth:`kill_rules` (whose memo tables it
+        shares); hit/miss totals accumulate in the manager-wide
+        :attr:`oracle_stats` and surface as ``oracle_hits`` /
+        ``oracle_misses`` in :meth:`stats`."""
+        return self._get(function, f"dominterf:{mode}",
+                         lambda: InterferenceOracle(
+                             self.kill_rules(function, mode),
+                             stats=self.oracle_stats))
 
     def interference_graph(self, function: Function) -> InterferenceGraph:
         """Chaitin graph for phi-free code, sharing the cached liveness

@@ -33,8 +33,8 @@ from typing import Optional, Sequence
 from .interp import InterpreterError, run_module
 from .ir.printer import format_module
 from .lai import LaiSyntaxError, parse_module
-from .observability import (COLLECTION_SCHEMA, Tracer, phase_table,
-                            summary, write_chrome_trace)
+from .observability import (COLLECTION_SCHEMA, Tracer, pass_profile,
+                            phase_table, summary, write_chrome_trace)
 from .pipeline import (EXPERIMENTS, PhaseOptions, run_experiment,
                        run_experiments, run_table, table5_variants)
 
@@ -62,7 +62,8 @@ def _tracer_for(args) -> Optional[Tracer]:
     ``None`` (= the zero-overhead null tracer) otherwise."""
     wants = (getattr(args, "trace", None) or
              getattr(args, "stats_json", None) or
-             getattr(args, "verbose", False))
+             getattr(args, "verbose", False) or
+             getattr(args, "profile_passes", False))
     return Tracer() if wants else None
 
 
@@ -116,6 +117,8 @@ def cmd_compile(args) -> int:
     if args.verbose:
         print(phase_table(result.phase_breakdown), file=sys.stderr)
         print(summary(tracer), file=sys.stderr)
+    if args.profile_passes:
+        print(pass_profile(tracer), file=sys.stderr)
     return 0
 
 
@@ -228,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("-v", "--verbose", action="store_true",
                            help="print the per-phase breakdown and span "
                                 "summary to stderr")
+    compile_p.add_argument("--profile-passes", action="store_true",
+                           help="print a per-pass self-time profile "
+                                "(span duration minus nested spans, "
+                                "aggregated by pass name) to stderr")
     _add_jobs(compile_p)
     compile_p.set_defaults(fn=cmd_compile)
 

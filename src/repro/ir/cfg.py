@@ -21,10 +21,32 @@ def successors(function: Function, label: str) -> list[str]:
     return function.blocks[label].successors()
 
 
+# Both pure CFG queries below memoize on the owning function, keyed by
+# its ``cfg_epoch`` (``Function._cfg_cache``); every structural mutation
+# path -- ``bump_cfg_epoch`` and ``add_block`` -- drops the cache.  The
+# cached structures are shared between callers: treat them as frozen
+# (mutators such as :func:`split_critical_edges` compute private
+# copies).
+
+def _cache_of(function: Function) -> list:
+    cache = function._cfg_cache
+    if cache is None or cache[0] != function.cfg_epoch:
+        cache = function._cfg_cache = [function.cfg_epoch, None, None]
+    return cache
+
+
 def predecessors_map(function: Function) -> dict[str, list[str]]:
     """Label -> ordered list of predecessor labels (duplicates preserved:
     a 2-way branch with both targets equal yields the predecessor twice,
-    matching the phi operand structure)."""
+    matching the phi operand structure).  Cached per CFG shape -- do not
+    mutate the result."""
+    cache = _cache_of(function)
+    if cache[1] is None:
+        cache[1] = _compute_predecessors_map(function)
+    return cache[1]
+
+
+def _compute_predecessors_map(function: Function) -> dict[str, list[str]]:
     preds: dict[str, list[str]] = {label: [] for label in function.blocks}
     for label, block in function.blocks.items():
         for succ in block.successors():
@@ -35,7 +57,15 @@ def predecessors_map(function: Function) -> dict[str, list[str]]:
 
 
 def reverse_postorder(function: Function) -> list[str]:
-    """Reverse postorder over blocks reachable from the entry."""
+    """Reverse postorder over blocks reachable from the entry.
+    Cached per CFG shape -- do not mutate the result."""
+    cache = _cache_of(function)
+    if cache[2] is None:
+        cache[2] = _compute_reverse_postorder(function)
+    return cache[2]
+
+
+def _compute_reverse_postorder(function: Function) -> list[str]:
     visited: set[str] = set()
     postorder: list[str] = []
     # Iterative DFS so deep CFGs (synthetic suites) don't hit the
@@ -100,7 +130,9 @@ def split_critical_edges(function: Function) -> list[str]:
     Returns the labels of the blocks created.  phi ``incoming`` labels in
     the destination blocks are retargeted to the new block.
     """
-    preds = predecessors_map(function)
+    # Private copy: this map is mutated edge by edge below, and the
+    # shared cached instance must stay frozen.
+    preds = _compute_predecessors_map(function)
     created: list[str] = []
     for src_label in list(function.blocks):
         src = function.blocks[src_label]

@@ -39,6 +39,11 @@ class Function:
         #: is explicitly not a mutation -- no analysis reads pins.
         self.epoch = 0
         self.cfg_epoch = 0
+        #: Lazily filled ``[cfg_epoch, predecessors_map, reverse_postorder]``
+        #: consulted by :mod:`repro.ir.cfg`; the queries are pure, so one
+        #: computation per CFG shape serves every pass.  Never read this
+        #: directly -- go through the :mod:`repro.ir.cfg` functions.
+        self._cfg_cache: Optional[list] = None
 
     # ------------------------------------------------------------------
     # Mutation epochs
@@ -53,6 +58,7 @@ class Function:
         implies :meth:`bump_epoch`."""
         self.epoch += 1
         self.cfg_epoch += 1
+        self._cfg_cache = None
 
     # ------------------------------------------------------------------
     # Structure
@@ -64,6 +70,11 @@ class Function:
         self.blocks[label] = block
         if self.entry is None:
             self.entry = label
+        # Builders add blocks without epoch discipline (nothing is
+        # "mutated" while a function is first assembled): drop the CFG
+        # cache directly so queries interleaved with construction stay
+        # exact even at an unchanged epoch.
+        self._cfg_cache = None
         return block
 
     def block(self, label: str) -> BasicBlock:
@@ -144,6 +155,13 @@ class Function:
         clone._temp_counter = self._temp_counter
         clone._label_counter = self._label_counter
         return clone
+
+    def __getstate__(self) -> dict:
+        # The CFG cache is cheap to recompute and would only bloat the
+        # parallel driver's result payloads: don't ship it.
+        state = self.__dict__.copy()
+        state["_cfg_cache"] = None
+        return state
 
     def __repr__(self) -> str:
         return f"<Function {self.name}: {len(self.blocks)} blocks>"

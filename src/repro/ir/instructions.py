@@ -242,14 +242,20 @@ class Instruction:
     dictionaries by instruction without relying on list positions.
     """
 
-    __slots__ = ("opcode", "defs", "uses", "attrs", "uid")
+    __slots__ = ("opcode", "spec", "is_phi", "is_pcopy", "is_terminator",
+                 "defs", "uses", "attrs", "uid")
 
     def __init__(self, opcode: str, defs: Sequence[Operand] = (),
                  uses: Sequence[Operand] = (),
                  attrs: Optional[dict] = None) -> None:
-        if opcode not in OPCODES:
+        spec = OPCODES.get(opcode)
+        if spec is None:
             raise ValueError(f"unknown opcode: {opcode}")
         self.opcode = opcode
+        self.spec = spec
+        self.is_phi = opcode == "phi"
+        self.is_pcopy = opcode == "pcopy"
+        self.is_terminator = spec.is_terminator
         self.defs = list(defs)
         self.uses = list(uses)
         self.attrs = dict(attrs or {})
@@ -262,27 +268,20 @@ class Instruction:
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
-    @property
-    def spec(self) -> OpSpec:
-        return OPCODES[self.opcode]
-
-    @property
-    def is_phi(self) -> bool:
-        return self.opcode == "phi"
-
-    @property
-    def is_pcopy(self) -> bool:
-        return self.opcode == "pcopy"
+    # ``spec`` / ``is_phi`` / ``is_pcopy`` / ``is_terminator`` are plain
+    # attributes precomputed in ``__init__``: the opcode never changes
+    # after construction, and these predicates sit on every analysis
+    # and validation inner loop.
 
     @property
     def is_copy(self) -> bool:
-        """True for a plain register-to-register move (the counted kind)."""
+        """True for a plain register-to-register move (the counted kind).
+
+        A property (unlike the opcode predicates above) because the
+        answer changes when constant propagation rewrites the use
+        operand to an immediate."""
         return (self.opcode == "copy"
                 and not isinstance(self.uses[0].value, Imm))
-
-    @property
-    def is_terminator(self) -> bool:
-        return self.spec.is_terminator
 
     def operands(self) -> Iterator[Operand]:
         """Iterate def operands then use operands."""
@@ -361,6 +360,27 @@ class Instruction:
                            [op.copy() for op in self.defs],
                            [op.copy() for op in self.uses],
                            attrs)
+
+    # ------------------------------------------------------------------
+    # Pickling (the parallel driver ships transformed functions back to
+    # the parent process).  ``spec`` must not cross the pipe: OpSpec
+    # carries ``evaluate`` lambdas, which do not pickle -- rebuild the
+    # precomputed predicates from the opcode on the receiving side.
+    def __getstate__(self):
+        return (self.opcode, self.defs, self.uses, self.attrs, self.uid)
+
+    def __setstate__(self, state) -> None:
+        opcode, defs, uses, attrs, uid = state
+        self.opcode = opcode
+        spec = OPCODES[opcode]
+        self.spec = spec
+        self.is_phi = opcode == "phi"
+        self.is_pcopy = opcode == "pcopy"
+        self.is_terminator = spec.is_terminator
+        self.defs = defs
+        self.uses = uses
+        self.attrs = attrs
+        self.uid = uid
 
     def __str__(self) -> str:
         from .printer import format_instruction

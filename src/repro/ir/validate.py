@@ -48,15 +48,16 @@ def validate_function(function: Function, ssa: bool = False,
         term = block.terminator
         if term is None:
             _fail(function, where, "missing terminator")
-        for i, instr in enumerate(block.body):
+        for instr in block.body:
             if instr.is_terminator and instr is not term:
                 _fail(function, where, "terminator in the middle of a block")
             if instr.is_phi:
                 _fail(function, where, "phi outside the phi prefix")
+            _validate_instruction(function, where, instr, allow_phis)
         for target in term.targets():
             if target not in function.blocks:
                 _fail(function, where, f"branch to unknown block {target!r}")
-        for instr in block.instructions():
+        for instr in block.phis:
             _validate_instruction(function, where, instr, allow_phis)
         for phi in block.phis:
             incoming = phi.attrs.get("incoming")
@@ -74,7 +75,9 @@ def validate_function(function: Function, ssa: bool = False,
 
 def _validate_instruction(function: Function, where: str,
                           instr: Instruction, allow_phis: bool) -> None:
-    spec = OPCODES.get(instr.opcode)
+    # The constructor rejects unknown opcodes and precomputes the spec,
+    # so no table lookup is needed here (unpickling rebuilds it too).
+    spec = instr.spec
     if spec is None:
         _fail(function, where, f"unknown opcode {instr.opcode!r}")
     if not allow_phis and instr.opcode in ("phi", "pcopy", "psi"):

@@ -143,8 +143,9 @@ class _TiedPinner:
 
     Analyses are built lazily: functions without 2-operand instructions
     pay nothing.  When an :class:`~repro.analysis.manager.AnalysisManager`
-    is injected, its shared kill rules are used instead of private ones
-    -- the same memoized rules the phi coalescer will query next.
+    is injected, its shared interference oracle is queried instead of a
+    private one -- the same memoized verdicts the phi coalescer will
+    probe next.
     """
 
     def __init__(self, function: Function, analyses=None) -> None:
@@ -160,7 +161,7 @@ class _TiedPinner:
                 from ..analysis.manager import AnalysisManager
 
                 analyses = AnalysisManager()
-            self._rules = analyses.kill_rules(self.function)
+            self._rules = analyses.dominterf(self.function)
 
     def _def_operand(self, var: Var):
         if self._def_pins is None:

@@ -52,12 +52,20 @@ def count_moves(item: Function | Module) -> int:
                for f in functions_of(item))
 
 
-def weighted_moves(item: Function | Module, base: int = 5) -> int:
+def weighted_moves(item: Function | Module, base: int = 5,
+                   analyses=None) -> int:
     """Sum of ``base**depth`` over all move instructions (φs excluded,
-    same convention as :func:`count_moves`)."""
+    same convention as :func:`count_moves`).
+
+    ``analyses`` optionally supplies an
+    :class:`~repro.analysis.manager.AnalysisManager` whose cached loop
+    forest (CFG-epoch keyed, so it survives the body rewrites of the
+    late phases) is used instead of building a private one per function.
+    """
     total = 0
     for function in functions_of(item):
-        loops = LoopForest(function)
+        loops = analyses.loops(function) if analyses is not None \
+            else LoopForest(function)
         for block in function.iter_blocks():
             weight = base ** loops.depth(block.label)
             for instr in block.instructions():
@@ -96,17 +104,20 @@ CYCLE_COSTS = {
 }
 
 
-def static_cycles(item: Function | Module, base: int = 5) -> int:
+def static_cycles(item: Function | Module, base: int = 5,
+                  analyses=None) -> int:
     """Sum of per-opcode cycle costs, weighted by ``base**depth``.
 
     The move-count tables answer "how many copies remain"; this metric
     answers "how much do they matter against everything else" -- a move
     removed from a depth-2 loop saves 25 weighted cycles, one removed
-    from straight-line code saves 1.
+    from straight-line code saves 1.  ``analyses`` works as in
+    :func:`weighted_moves`.
     """
     total = 0
     for function in functions_of(item):
-        loops = LoopForest(function)
+        loops = analyses.loops(function) if analyses is not None \
+            else LoopForest(function)
         for block in function.iter_blocks():
             weight = base ** loops.depth(block.label)
             for instr in block.instructions():

@@ -6,8 +6,9 @@ Public surface:
   zero-overhead default (see :mod:`.tracer`);
 * :func:`resolve` -- normalize an optional ``tracer=`` argument;
 * exporters -- :func:`chrome_trace_events` / :func:`write_chrome_trace`
-  (Chrome ``trace_event`` format), :func:`summary` and
-  :func:`phase_table` (human-readable), :func:`jsonable`;
+  (Chrome ``trace_event`` format), :func:`summary`,
+  :func:`phase_table` and :func:`pass_profile` /
+  :func:`pass_self_times` (human-readable), :func:`jsonable`;
 * schema -- :func:`validate_stats` and the ``repro.stats/v1`` document
   contract (see :mod:`.schema` and ``docs/observability.md``).
 
@@ -17,7 +18,8 @@ optional ``tracer`` keyword defaulting to ``None`` == :data:`NULL_TRACER`.
 """
 
 from .exporters import (chrome_trace_events, chrome_trace_json, jsonable,
-                        phase_table, summary, write_chrome_trace)
+                        pass_profile, pass_self_times, phase_table,
+                        summary, write_chrome_trace)
 from .schema import (COLLECTION_SCHEMA, DELTA_KEYS, SNAPSHOT_KEYS,
                      STATS_SCHEMA, SchemaError, validate_stats,
                      validate_stats_file)
@@ -28,7 +30,8 @@ __all__ = [
     "NULL_TRACER", "NullTracer", "Tracer", "SpanRecord", "EventRecord",
     "resolve",
     "chrome_trace_events", "chrome_trace_json", "write_chrome_trace",
-    "summary", "phase_table", "jsonable",
+    "summary", "phase_table", "pass_profile", "pass_self_times",
+    "jsonable",
     "STATS_SCHEMA", "COLLECTION_SCHEMA", "DELTA_KEYS", "SNAPSHOT_KEYS",
     "SchemaError", "validate_stats", "validate_stats_file",
 ]

@@ -113,6 +113,54 @@ def phase_table(breakdown: Iterable[dict]) -> str:
     return "\n".join(lines)
 
 
+def pass_self_times(tracer: Tracer) -> list[dict]:
+    """Per-pass profile aggregated from the tracer's span tree.
+
+    Self time is a span's duration minus its *direct* children's
+    durations -- the nanoseconds spent in that pass's own code rather
+    than in nested passes -- aggregated over every span sharing one
+    name.  Open (never closed) spans are skipped: they have no
+    meaningful duration.  Rows are sorted by self time, largest first.
+    """
+    child_ns: dict[int, int] = {}
+    for span in tracer.spans:
+        if span.parent is not None and span.closed:
+            child_ns[span.parent] = child_ns.get(span.parent, 0) \
+                + span.duration_ns
+    rows: dict[str, dict] = {}
+    for span in tracer.spans:
+        if not span.closed:
+            continue
+        row = rows.setdefault(span.name, {"pass": span.name, "calls": 0,
+                                          "total_ns": 0, "self_ns": 0})
+        row["calls"] += 1
+        row["total_ns"] += span.duration_ns
+        row["self_ns"] += max(span.duration_ns
+                              - child_ns.get(span.seq, 0), 0)
+    return sorted(rows.values(),
+                  key=lambda r: (-r["self_ns"], r["pass"]))
+
+
+def pass_profile(tracer: Tracer) -> str:
+    """Render :func:`pass_self_times` as the ``--profile-passes``
+    table: one row per span name, self/total milliseconds and the
+    self-time share of the whole run."""
+    rows = pass_self_times(tracer)
+    if not rows:
+        return "(no pass profile: no spans were recorded)"
+    grand_self = sum(r["self_ns"] for r in rows) or 1
+    lines = [f"{'pass':<32}{'calls':>7}{'self(ms)':>10}"
+             f"{'total(ms)':>11}{'self%':>7}"]
+    for row in rows:
+        share = 100.0 * row["self_ns"] / grand_self
+        lines.append(f"{row['pass']:<32}{row['calls']:>7}"
+                     f"{_ms(row['self_ns']):>10}"
+                     f"{_ms(row['total_ns']):>11}"
+                     f"{share:>6.1f}%")
+    lines.append(f"{'TOTAL':<32}{'':>7}{_ms(grand_self):>10}")
+    return "\n".join(lines)
+
+
 def summary(tracer: Tracer, max_counters: int = 40) -> str:
     """An indented span tree plus counter totals -- the ``-v`` text."""
     lines = ["spans:"]

@@ -3,19 +3,22 @@
 Two document shapes are emitted by the CLI and the benchmark harness
 (see ``docs/observability.md`` for the field-by-field reference):
 
-``repro.stats/v1.2``
+``repro.stats/v1.3``
     One experiment run: totals, the per-phase breakdown (timing plus
     move/instruction/phi deltas per function), raw per-phase pass
     statistics, counters, the event count, the ``analysis_cache``
     block (v1.1) summarizing shared-analysis reuse
     (hits/misses/invalidations/preserved, from
-    :class:`repro.analysis.manager.AnalysisManager`) and -- new in
-    v1.2 -- the optional ``parallel`` block describing the fork-pool
-    execution (worker count, shard sizes, per-worker wall time, merge
-    time; see :mod:`repro.parallel`).  Produced by
+    :class:`repro.analysis.manager.AnalysisManager`; since v1.3 also
+    ``oracle_hits``/``oracle_misses`` -- memo traffic of the
+    query-based interference oracle,
+    :mod:`repro.analysis.dominterf`) and the optional ``parallel``
+    block (v1.2) describing the fork-pool execution (worker count,
+    shard sizes, per-worker wall time, merge time; see
+    :mod:`repro.parallel`).  Produced by
     :meth:`repro.pipeline.ExperimentResult.to_stats`.  ``repro.stats/v1``
-    and ``v1.1`` documents (no ``parallel`` / ``analysis_cache``
-    blocks) remain valid input.
+    through ``v1.2`` documents (no ``parallel`` / ``analysis_cache`` /
+    oracle counters) remain valid input.
 
 ``repro.stats-collection/v1``
     ``{"schema": ..., "runs": [<stats doc>, ...]}`` -- many runs in one
@@ -36,18 +39,23 @@ from __future__ import annotations
 import json
 from typing import Any
 
-STATS_SCHEMA = "repro.stats/v1.2"
+STATS_SCHEMA = "repro.stats/v1.3"
 COLLECTION_SCHEMA = "repro.stats-collection/v1"
 
 #: Schemas consumers must accept: the current one plus every prior
 #: minor revision (v1 documents lack the ``analysis_cache`` block
 #: introduced in v1.1; v1.1 documents lack the ``parallel`` block
-#: introduced in v1.2).
+#: introduced in v1.2; v1.2 documents lack the oracle counters
+#: introduced in v1.3).
 ACCEPTED_STATS_SCHEMAS = ("repro.stats/v1", "repro.stats/v1.1",
-                          "repro.stats/v1.2")
+                          "repro.stats/v1.2", "repro.stats/v1.3")
 
 #: The integer fields of the optional ``analysis_cache`` block.
 ANALYSIS_CACHE_KEYS = ("hits", "misses", "invalidations", "preserved")
+
+#: Additional ``analysis_cache`` fields required since v1.3: memo
+#: traffic of the dominance interference oracle.
+ORACLE_CACHE_KEYS = ("oracle_hits", "oracle_misses")
 
 #: The required integer fields of the optional ``parallel`` block and
 #: of each of its ``shards[]`` entries.
@@ -138,8 +146,10 @@ def validate_stats(doc: Any, where: str = "$") -> None:
     _expect_int(doc, "events", where)
     cache = doc.get("analysis_cache")
     if cache:  # optional; absent in v1 documents, may be empty in v1.1
-        _validate_measures(cache, ANALYSIS_CACHE_KEYS,
-                           f"{where}.analysis_cache")
+        keys = ANALYSIS_CACHE_KEYS
+        if schema == STATS_SCHEMA:
+            keys = ANALYSIS_CACHE_KEYS + ORACLE_CACHE_KEYS
+        _validate_measures(cache, keys, f"{where}.analysis_cache")
     parallel = doc.get("parallel")
     if parallel:  # optional; absent in serial runs and pre-v1.2 docs
         _validate_parallel(parallel, f"{where}.parallel")

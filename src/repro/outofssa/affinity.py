@@ -21,6 +21,7 @@ ordered keys; the interference predicate must be symmetric.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Hashable, Iterable
 
 Vertex = Hashable
@@ -30,8 +31,13 @@ Interfere = Callable[[Vertex, Vertex], bool]
 
 
 def edge_key(a: Vertex, b: Vertex) -> Edge:
-    sa, sb = sorted((a, b), key=lambda r: (r.__class__.__name__, str(r)))
-    return (sa, sb)
+    # Canonical order: (class name, str) ascending -- written out as
+    # direct comparisons because this runs on pruning inner loops.
+    if a.__class__ is b.__class__:
+        return (a, b) if str(a) <= str(b) else (b, a)
+    if a.__class__.__name__ <= b.__class__.__name__:
+        return (a, b)
+    return (b, a)
 
 
 def components(edges: Edges) -> list[set]:
@@ -96,45 +102,83 @@ def weighted_prune(edges: Edges, interfere: Interfere,
     decrement (unconditional); the default only subtracts contributions
     that involved the removed edge.  ``ordered=False`` removes positive
     edges in arbitrary order (ablation).
+
+    The ordered loop is incremental: candidates live in a max-heap with
+    **lazy invalidation** (weights only ever decrease, so an entry is
+    stale exactly when its recorded weight exceeds the current one and
+    can simply be skipped on pop) instead of a full re-scan per round,
+    and only the removed edge's vertex neighborhood is rescored.  Equal
+    (weight, multiplicity) candidates break ties by **insertion order**
+    (first edge built wins) -- the order is part of the heap key, so it
+    is explicit and identical at any ``--jobs`` value rather than an
+    accident of dict iteration.
     """
     weight: dict[Edge, int] = {key: 0 for key in edges}
-    keys = list(edges)
-    for i, e1 in enumerate(keys):
-        for e2 in keys[i + 1:]:
-            shared = set(e1) & set(e2)
-            if not shared:
-                continue
-            x = next(iter(shared))
+    #: explicit deterministic tie-break: insertion order of the edges.
+    seq: dict[Edge, int] = {key: i for i, key in enumerate(edges)}
+    # Two canonical edges share at most one vertex (sharing both would
+    # make them the same key), so scoring pairs via per-vertex adjacency
+    # lists visits each sharing pair exactly once.
+    adjacency: dict[Vertex, list[Edge]] = {}
+    for key in edges:
+        adjacency.setdefault(key[0], []).append(key)
+        adjacency.setdefault(key[1], []).append(key)
+    for x, incident in adjacency.items():
+        for i, e1 in enumerate(incident):
             far1 = e1[0] if e1[1] == x else e1[1]
-            far2 = e2[0] if e2[1] == x else e2[1]
-            if interfere(far1, far2):
-                weight[e1] += edges[e2]
-                weight[e2] += edges[e1]
+            for e2 in incident[i + 1:]:
+                far2 = e2[0] if e2[1] == x else e2[1]
+                if interfere(far1, far2):
+                    weight[e1] += edges[e2]
+                    weight[e2] += edges[e1]
+
+    def rescore(target: Edge, mult: int, push) -> None:
+        """Subtract the removed *target*'s contributions from its
+        neighborhood (the only weights that can change)."""
+        for x in target:
+            far_target = target[0] if target[1] == x else target[1]
+            for other in adjacency[x]:
+                if other not in weight:
+                    continue  # already removed
+                if literal:
+                    weight[other] -= mult
+                else:
+                    far_other = other[0] if other[1] == x else other[1]
+                    if interfere(far_other, far_target):
+                        weight[other] -= mult
+                    else:
+                        continue
+                if push is not None:
+                    push((-weight[other], -edges[other], seq[other], other))
+
     removed = 0
-    while weight:
-        if ordered:
-            target = max(weight, key=lambda k: (weight[k], edges[k]))
-        else:
+    if not ordered:
+        while weight:
             target = next((k for k in weight if weight[k] > 0),
                           next(iter(weight)))
-        if weight[target] <= 0:
+            if weight[target] <= 0:
+                break
+            mult = edges[target]
+            removed += mult
+            del edges[target]
+            del weight[target]
+            rescore(target, mult, None)
+        return removed
+    heap = [(-w, -edges[k], seq[k], k) for k, w in weight.items()]
+    heapq.heapify(heap)
+    push = lambda entry: heapq.heappush(heap, entry)  # noqa: E731
+    while heap:
+        neg_w, _neg_m, _s, target = heapq.heappop(heap)
+        current = weight.get(target)
+        if current is None or current != -neg_w:
+            continue  # stale entry: edge removed or weight decayed
+        if current <= 0:
             break
         mult = edges[target]
         removed += mult
         del edges[target]
         del weight[target]
-        for other in list(weight):
-            shared = set(other) & set(target)
-            if not shared:
-                continue
-            if literal:
-                weight[other] -= mult
-            else:
-                x = next(iter(shared))
-                far_other = other[0] if other[1] == x else other[1]
-                far_target = target[0] if target[1] == x else target[1]
-                if interfere(far_other, far_target):
-                    weight[other] -= mult
+        rescore(target, mult, push)
     return removed
 
 
@@ -201,8 +245,20 @@ def optimal_prune(edges: Edges, interfere: Interfere,
     Returns the kept edge set, or ``None`` when the instance exceeds
     *max_edges* distinct edges (exponential worst case -- the paper
     proves the problem NP-complete, so a cutoff is the honest API).
+
+    Equal-multiplicity edges are ordered by their canonical vertex key
+    (explicitly deterministic across runs and job counts, not dict
+    insertion order).  Legality is tracked incrementally through a
+    union-find over the kept components with an undo trail: adding an
+    edge inside one component is legal by the branch invariant (every
+    kept component is pairwise non-interfering), and joining two
+    components only tests the cross pairs -- no per-candidate component
+    rescan.
     """
-    items = sorted(edges.items(), key=lambda kv: -kv[1])
+    items = sorted(
+        edges.items(),
+        key=lambda kv: (-kv[1], tuple(
+            (v.__class__.__name__, str(v)) for v in kv[0])))
     if len(items) > max_edges:
         return None
 
@@ -212,14 +268,48 @@ def optimal_prune(edges: Edges, interfere: Interfere,
     for i in range(len(items) - 1, -1, -1):
         suffix_weight[i] = suffix_weight[i + 1] + items[i][1]
 
-    def legal_with(kept: dict, candidate: Edge) -> bool:
-        trial = dict(kept)
-        trial[candidate] = edges[candidate]
-        for group in components(trial):
-            if candidate[0] in group or candidate[1] in group:
-                if not component_legal(group, interfere):
+    # Union-find over kept-subgraph components.  No path compression,
+    # so every union is undone by exactly one parent reset plus one
+    # member-list truncation.
+    parent: dict[Vertex, Vertex] = {}
+    members: dict[Vertex, list[Vertex]] = {}
+    trail: list[tuple] = []
+
+    def find(v: Vertex) -> Vertex:
+        if v not in parent:
+            parent[v] = v
+            members[v] = [v]
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        return root
+
+    def try_add(candidate: Edge) -> bool:
+        """Union the candidate's endpoints if legal; push an undo
+        record and return True, or leave state untouched."""
+        ra, rb = find(candidate[0]), find(candidate[1])
+        if ra == rb:
+            trail.append(None)  # in-component edge: nothing to undo
+            return True
+        group_a, group_b = members[ra], members[rb]
+        if len(group_b) > len(group_a):
+            ra, rb, group_a, group_b = rb, ra, group_b, group_a
+        for x in group_a:
+            for y in group_b:
+                if interfere(x, y):
                     return False
+        parent[rb] = ra
+        group_a.extend(group_b)
+        trail.append((rb, ra, len(group_b)))
         return True
+
+    def undo() -> None:
+        record = trail.pop()
+        if record is None:
+            return
+        rb, ra, count = record
+        parent[rb] = rb
+        del members[ra][-count:]
 
     def search(index: int, kept: dict, weight: int) -> None:
         nonlocal best_kept, best_weight
@@ -231,10 +321,11 @@ def optimal_prune(edges: Edges, interfere: Interfere,
                 best_kept = dict(kept)
             return
         key, mult = items[index]
-        if legal_with(kept, key):
+        if try_add(key):
             kept[key] = mult
             search(index + 1, kept, weight + mult)
             del kept[key]
+            undo()
         search(index + 1, kept, weight)
 
     search(0, {}, 0)

@@ -69,6 +69,12 @@ def aggressive_coalesce(function: Function,
 
 
 def _coalesce_round(function: Function, analyses) -> int:
+    # Fixpoint fast path: with no copy instruction left there is nothing
+    # to merge and nothing to rewrite -- skip the graph build entirely
+    # (the final proving round of every fixpoint lands here).
+    if not any(instr.is_copy for block in function.iter_blocks()
+               for instr in block.body):
+        return 0
     graph = InterferenceGraph(function, analyses.liveness(function))
     # Union-find over values; physical registers always win as reps.
     parent: dict[Value, Value] = {}

@@ -66,21 +66,20 @@ def check_conventional(function: Function, analyses=None) -> list[str]:
         from ..analysis.manager import AnalysisManager
 
         analyses = AnalysisManager()
-    ssa = analyses.ssa(function)
-    rules = analyses.kill_rules(function)
+    oracle = analyses.dominterf(function)
     errors: list[str] = []
     for group in phi_congruence_classes(function):
         members = sorted(group, key=lambda v: v.name)
         for i, a in enumerate(members):
             for b in members[i + 1:]:
-                if ssa.interfere(a, b):
+                if oracle.interfere(a, b):
                     errors.append(f"{a} and {b} are phi-congruent but "
                                   f"interfere")
-                elif rules.variable_kills(a, b) or \
-                        rules.variable_kills(b, a):
+                elif oracle.variable_kills(a, b) or \
+                        oracle.variable_kills(b, a):
                     errors.append(f"{a} and {b} are phi-congruent but "
                                   f"one kills the other")
-                elif rules.strongly_interfere(a, b):
+                elif oracle.strongly_interfere(a, b):
                     errors.append(f"{a} and {b} are phi-congruent and "
                                   f"strongly interfere")
     return errors

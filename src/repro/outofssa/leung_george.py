@@ -39,7 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..ir.cfg import reverse_postorder, split_critical_edges
+from ..ir.cfg import (predecessors_map, reverse_postorder,
+                      split_critical_edges)
 from ..ir.function import Function
 from ..ir.instructions import Instruction, Operand, make_copy
 from ..ir.types import Resource, Value, Var
@@ -130,10 +131,18 @@ class _Translator:
         # (block, kind, payload) availability per killed var, see below.
         self._avail_in: dict[Var, dict[str, bool]] = {}
         self._avail_out: dict[Var, dict[str, bool]] = {}
-        self._edge_kill_cache: dict[str, set] = {}
         # Event streams are snapshotted before reconstruction mutates the
         # instructions; keyed by (var, block label).
         self._events: dict[tuple[Var, str], list[tuple]] = {}
+        # (var, label) -> net availability transfer of the block: True /
+        # False = value of the last set/clobber event, None = identity
+        # (no event touches the resource).  Filled alongside _events so
+        # the dataflow fixpoint never re-walks the event streams.
+        self._transfer: dict[tuple[Var, str], Optional[bool]] = {}
+        # (order, filtered predecessor lists), shared by every killed
+        # var's availability fixpoint -- the CFG does not change between
+        # them.
+        self._dataflow_cfg: Optional[tuple[list[str], dict]] = None
 
     # ------------------------------------------------------------------
     def run(self) -> OutOfSSAStats:
@@ -169,13 +178,6 @@ class _Translator:
     # ------------------------------------------------------------------
     # Kill analysis (the "mark" phase)
     # ------------------------------------------------------------------
-    def _edge_kill_set(self, pred: str) -> set:
-        cached = self._edge_kill_cache.get(pred)
-        if cached is None:
-            cached = self.liveness.edge_kill_set(pred, "")
-            self._edge_kill_cache[pred] = cached
-        return cached
-
     def _write_sites(self) -> dict[Resource, list[tuple]]:
         """All events that write each resource.
 
@@ -215,43 +217,68 @@ class _Translator:
 
     def _compute_kills(self) -> None:
         # Fixpoint: a kill can force a restoring use-pin move which can
-        # itself kill; two or three rounds settle in practice.
+        # itself kill; two or three rounds settle in practice.  Each
+        # event reduces to mask algebra over the shared value numbering
+        # (victims = relevant-liveness mask AND the resource's member
+        # mask, minus the writer) instead of a per-member probe loop.
+        liveness = self.liveness
+        index = liveness.index
+        members_masks: dict[Resource, int] = {}
+        term_masks: dict[str, int] = {}
+
+        def uses_mask(instr) -> int:
+            mask = 0
+            for v in instr.use_vars():
+                slot = index.get(v)
+                if slot is not None:
+                    mask |= 1 << slot
+            return mask
+
+        def term_mask(pred: str) -> int:
+            # A conditional branch reads its condition after the edge
+            # copies; those reads survive the copy.
+            mask = term_masks.get(pred)
+            if mask is None:
+                term = self.function.blocks[pred].terminator
+                mask = uses_mask(term) if term is not None else 0
+                term_masks[pred] = mask
+            return mask
+
+        def bit_of(value) -> int:
+            slot = index.get(value) if isinstance(value, Var) else None
+            return 0 if slot is None else 1 << slot
+
         for _ in range(8):
             sites = self._write_sites()
-            new_killed = set(self.killed)
+            killed_mask = index.mask_of(self.killed)
+            new_mask = killed_mask
             for res, events in sites.items():
-                members = self.groups.get(res, [])
-                if not members:
+                members_mask = members_masks.get(res)
+                if members_mask is None:
+                    members_mask = index.mask_of(self.groups.get(res, ()))
+                    members_masks[res] = members_mask
+                if not members_mask:
                     continue
                 for kind, *payload in events:
                     if kind == "def":
                         label, pos, writer = payload
-                        live = self.liveness.live_after(label, pos)
-                        for v in members:
-                            if v != writer and v in live:
-                                new_killed.add(v)
+                        hits = liveness.live_after_mask(label, pos) \
+                            & members_mask & ~bit_of(writer)
                     elif kind == "edge":
-                        pred, phi_var, arg = payload
-                        kill_set = self._edge_kill_set(pred)
-                        # A conditional branch reads its condition after
-                        # the edge copies; those reads survive the copy.
-                        term = self.function.blocks[pred].terminator
-                        term_uses = set(term.use_vars()) if term else set()
-                        for v in members:
-                            if v != arg and (v in kill_set
-                                             or v in term_uses):
-                                new_killed.add(v)
+                        pred, _phi_var, arg = payload
+                        hits = (liveness.edge_kill_mask(pred)
+                                | term_mask(pred)) \
+                            & members_mask & ~bit_of(arg)
                     else:  # usepin
                         label, pos, used = payload
                         instr = self.function.blocks[label].body[pos]
-                        live = self.liveness.live_after(label, pos)
-                        at_instr = set(instr.use_vars())
-                        for v in members:
-                            if v != used and (v in live or v in at_instr):
-                                new_killed.add(v)
-            if new_killed == self.killed:
+                        hits = (liveness.live_after_mask(label, pos)
+                                | uses_mask(instr)) \
+                            & members_mask & ~bit_of(used)
+                    new_mask |= hits
+            if new_mask == killed_mask:
                 break
-            self.killed = new_killed
+            self.killed = set(index.values_of(new_mask))
         self.stats.killed = sorted(self.killed, key=lambda v: v.name)
 
     # ------------------------------------------------------------------
@@ -340,31 +367,46 @@ class _Translator:
         if terminator is not None:
             instr_events(len(block.body) - 1, terminator)
         self._events[(var, label)] = events
+        transfer: Optional[bool] = None
+        for event in events:
+            kind = event[0]
+            if kind == "set":
+                transfer = True
+            elif kind == "clobber":
+                transfer = False
+        self._transfer[(var, label)] = transfer
         return events
 
     def _compute_availability(self, var: Var) -> None:
-        order = reverse_postorder(self.function)
+        if self._dataflow_cfg is None:
+            order = reverse_postorder(self.function)
+            reachable = set(order)
+            pred_map = predecessors_map(self.function)
+            # Restrict to reachable predecessors: the fixpoint only
+            # tracks availability for blocks in the traversal order.
+            preds = {label: [p for p in pred_map[label] if p in reachable]
+                     for label in order}
+            self._dataflow_cfg = (order, preds)
+        order, preds = self._dataflow_cfg
         avail_in = {label: True for label in order}
         avail_out = {label: True for label in order}
         entry = self.function.entry
-        preds: dict[str, list[str]] = {label: [] for label in order}
+        # One row per block: (label, predecessor labels, net transfer).
+        # Building the event streams here also fills self._transfer.
+        rows = []
+        transfer = self._transfer
         for label in order:
-            for succ in self.function.blocks[label].successors():
-                preds[succ].append(label)
+            self._block_events(label, var)
+            rows.append((label, preds[label], transfer[(var, label)]))
         changed = True
         while changed:
             changed = False
-            for label in order:
+            for label, pred_labels, net in rows:
                 if label == entry:
                     new_in = False
                 else:
-                    new_in = all(avail_out[p] for p in preds[label])
-                out = new_in
-                for event in self._block_events(label, var):
-                    if event[0] == "set":
-                        out = True
-                    elif event[0] == "clobber":
-                        out = False
+                    new_in = all(avail_out[p] for p in pred_labels)
+                out = new_in if net is None else net
                 if new_in != avail_in[label] or out != avail_out[label]:
                     avail_in[label] = new_in
                     avail_out[label] = out

@@ -43,7 +43,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Optional
 
-from ..analysis.interference import InterferenceMode, KillRules
+from ..analysis.dominterf import EMPTY_SIG, InterferenceOracle, StrongSig
+from ..analysis.interference import InterferenceMode
 from ..ir.cfg import split_critical_edges
 from ..ir.function import Function
 from ..ir.types import PhysReg, Resource, Var
@@ -73,15 +74,48 @@ class ResourcePool:
     interferences have to be recomputed at each iteration"
     (paper section 3.5): we keep per-resource member lists and recompute
     only the lazily cached killed sets.
+
+    All pairwise questions go through the
+    :class:`~repro.analysis.dominterf.InterferenceOracle`; three
+    group-level summaries keep :meth:`interfere` from degenerating into
+    member-pair sweeps:
+
+    * a **kill-union mask** per root (the OR of every member's kill
+      candidates) rejects most writer loops with one bit test;
+    * a merged **strong signature** per root answers "does any member
+      of A strongly interfere with any member of B" with a few set
+      intersections instead of the former |A| x |B| loop;
+    * a **pair memo** keyed by the two roots plus their merge versions
+      collapses the repeated queries the pruning passes issue for the
+      same resource pair.
+
+    All three fuse in O(size of the summaries) on a *certified* merge
+    (:meth:`merge` with ``certified=True``): once the pruning pipeline
+    has established Condition 2 -- every pair in a surviving component
+    is mutually non-interfering -- the merged group's killed set is
+    exactly the union of the parts (no cross kill can involve a
+    surviving member, and kills among already-killed members change
+    nothing), so nothing needs recomputing.
     """
 
-    def __init__(self, function: Function, rules: KillRules) -> None:
-        self.rules = rules
+    def __init__(self, function: Function,
+                 oracle: InterferenceOracle) -> None:
+        self.oracle = oracle
+        self.rules = oracle.rules
         self.parent: dict[Resource, Resource] = {}
         self.members: dict[Resource, list[Var]] = {}
         #: root -> (killed members, mask of the *surviving* members) --
         #: the two inputs of every resource interference test.
         self._killed_cache: dict[Resource, tuple[set[Var], int]] = {}
+        #: root -> OR of every member's kill_candidates_mask.
+        self._kill_union: dict[Resource, int] = {}
+        #: root -> merged StrongSig of the members.
+        self._sig_cache: dict[Resource, StrongSig] = {}
+        #: root -> merge-version counter, part of the pair-memo key so
+        #: stale verdicts can never be observed after a merge.
+        self._versions: dict[Resource, int] = {}
+        #: (root_a, version_a, root_b, version_b) -> interfere verdict.
+        self._pair_cache: dict[tuple, bool] = {}
         # Pinned *uses* write their resource just before the instruction
         # (the reconstruction's use-pin moves, e.g. call arguments into
         # R0).  A variable live across such a write is killed by the
@@ -118,15 +152,21 @@ class ResourcePool:
             self.members[res] = [res] if isinstance(res, Var) else []
 
     def find(self, res: Resource) -> Resource:
-        self._ensure(res)
-        root = res
-        while self.parent[root] != root:
-            root = self.parent[root]
-        while self.parent[res] != root:
-            self.parent[res], res = root, self.parent[res]
+        parent = self.parent
+        root = parent.get(res)
+        if root is None:
+            self._ensure(res)
+            return res
+        if root is res:
+            return res
+        while parent[root] is not root:
+            root = parent[root]
+        while parent[res] is not root:
+            parent[res], res = root, parent[res]
         return root
 
-    def _union_raw(self, a: Resource, b: Resource) -> Resource:
+    def _union_raw(self, a: Resource, b: Resource,
+                   certified: bool = False) -> Resource:
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return ra
@@ -136,17 +176,43 @@ class ResourcePool:
         if isinstance(ra, PhysReg) and isinstance(rb, PhysReg):
             raise ValueError(
                 f"cannot merge physical registers {ra} and {rb}")
+        if certified:
+            # Condition 2 holds between the two groups, so the merged
+            # summaries are exactly the unions of the parts: no cross
+            # kill can touch a surviving member (that is what the
+            # pruning certified), kills among already-killed members add
+            # nothing, and the strong signature / kill-union / site
+            # summaries are unions by construction.
+            killed_a, ok_a = self._killed_and_ok(ra)
+            killed_b, ok_b = self._killed_and_ok(rb)
+            fused_killed = (killed_a | killed_b, ok_a | ok_b)
+            fused_sites = self._sites(ra) + self._sites(rb)
+            fused_sig = self._sig(ra).merged(self._sig(rb))
+            fused_union = self._kill_union_mask(ra) \
+                | self._kill_union_mask(rb)
         self.parent[rb] = ra
         self.members[ra] = self.members[ra] + self.members[rb]
         self.members[rb] = []
-        self._killed_cache.pop(ra, None)
-        self._killed_cache.pop(rb, None)
-        self._sites_cache.pop(ra, None)
-        self._sites_cache.pop(rb, None)
+        for cache in (self._killed_cache, self._sites_cache,
+                      self._sig_cache, self._kill_union):
+            cache.pop(ra, None)
+            cache.pop(rb, None)
+        if certified:
+            self._killed_cache[ra] = fused_killed
+            self._sites_cache[ra] = fused_sites
+            self._sig_cache[ra] = fused_sig
+            self._kill_union[ra] = fused_union
+        self._versions[ra] = self._versions.get(ra, 0) + 1
         return ra
 
-    def merge(self, a: Resource, b: Resource) -> Resource:
-        return self._union_raw(a, b)
+    def merge(self, a: Resource, b: Resource,
+              certified: bool = False) -> Resource:
+        """Union two resources.  ``certified=True`` asserts the caller
+        has already established that the groups are mutually
+        non-interfering (Condition 2, e.g. after the pruning pipeline),
+        letting the cached summaries fuse instead of being dropped and
+        recomputed."""
+        return self._union_raw(a, b, certified)
 
     def group(self, res: Resource) -> list[Var]:
         return self.members[self.find(res)]
@@ -169,7 +235,34 @@ class ResourcePool:
         label, pos, moved = site
         if victim == moved:
             return False
-        return self.rules.ssa.liveness.is_live_after(victim, label, pos)
+        return self.oracle.liveness.is_live_after(victim, label, pos)
+
+    def _sig(self, root: Resource) -> StrongSig:
+        """Merged strong signature of *root*'s members (cached until an
+        uncertified merge touches the root)."""
+        sig = self._sig_cache.get(root)
+        if sig is None:
+            strong_sig = self.oracle.strong_sig
+            sig = EMPTY_SIG
+            for member in self.members[root]:
+                member_sig = strong_sig(member)
+                if member_sig is not EMPTY_SIG:
+                    sig = sig.merged(member_sig) if sig is not EMPTY_SIG \
+                        else member_sig
+            self._sig_cache[root] = sig
+        return sig
+
+    def _kill_union_mask(self, root: Resource) -> int:
+        """OR of every member's kill-candidate mask: anything outside it
+        provably cannot be killed by any member of *root*."""
+        mask = self._kill_union.get(root)
+        if mask is None:
+            candidates = self.oracle.kill_candidates_mask
+            mask = 0
+            for member in self.members[root]:
+                mask |= candidates(member)
+            self._kill_union[root] = mask
+        return mask
 
     def killed_within(self, res: Resource) -> set[Var]:
         """Paper's ``Resource_killed``: members already killed by another
@@ -185,19 +278,19 @@ class ResourcePool:
         sites only."""
         cached = self._killed_cache.get(root)
         if cached is None:
-            rules = self.rules
-            index = rules.ssa.liveness.index
+            oracle = self.oracle
+            index = oracle.liveness.index
             group = self.members[root]
             group_mask = index.mask_of(group)
             killed: set[Var] = set()
             for writer in group:
-                candidates = rules.kill_candidates_mask(writer) & group_mask
+                candidates = oracle.kill_candidates_mask(writer) & group_mask
                 while candidates:
                     low = candidates & -candidates
                     candidates ^= low
                     victim = index.value(low.bit_length() - 1)
                     if victim not in killed \
-                            and rules.variable_kills(writer, victim):
+                            and oracle.variable_kills(writer, victim):
                         killed.add(victim)
             sites = self._sites(root)
             if sites:
@@ -228,44 +321,67 @@ class ResourcePool:
             return False
         if isinstance(ra, PhysReg) and isinstance(rb, PhysReg):
             return True
+        # Pair memo: the pruning passes re-ask the same resource pairs
+        # many times per block.  Verdicts are only valid for the exact
+        # group contents, so the key carries each root's merge version.
+        # Symmetry via a name compare only -- an equal-name tie across
+        # classes at worst memoizes the pair under both orders.
+        versions = self._versions
+        if ra.name <= rb.name:
+            key = (ra, versions.get(ra, 0), rb, versions.get(rb, 0))
+        else:
+            key = (rb, versions.get(rb, 0), ra, versions.get(ra, 0))
+        verdict = self._pair_cache.get(key)
+        if verdict is None:
+            verdict = self._groups_interfere(ra, rb)
+            self._pair_cache[key] = verdict
+        return verdict
+
+    def _groups_interfere(self, ra: Resource, rb: Resource) -> bool:
         killed_a, mask_a = self._killed_and_ok(ra)
         killed_b, mask_b = self._killed_and_ok(rb)
-        rules = self.rules
-        index = rules.ssa.liveness.index
-        group_a = self.members[ra]
-        group_b = self.members[rb]
-        # Candidate-mask prefilter: a writer can only kill values inside
-        # its kill_candidates_mask, so intersect it with the mask of the
+        oracle = self.oracle
+        index = oracle.liveness.index
+        # Candidate-mask prefilter, now in two tiers: the group-level
+        # kill-union mask rejects the whole writer loop with one bit
+        # test; a surviving writer can only kill values inside its own
+        # kill_candidates_mask, so intersect that with the mask of the
         # other group's not-yet-killed members and confirm just the
         # survivors pairwise (usually none).
-        for writer in group_b:
-            candidates = rules.kill_candidates_mask(writer) & mask_a
-            while candidates:
-                low = candidates & -candidates
-                candidates ^= low
-                victim = index.value(low.bit_length() - 1)
-                if rules.variable_kills(writer, victim):
-                    return True
-        for writer in group_a:
-            candidates = rules.kill_candidates_mask(writer) & mask_b
-            while candidates:
-                low = candidates & -candidates
-                candidates ^= low
-                victim = index.value(low.bit_length() - 1)
-                if rules.variable_kills(writer, victim):
-                    return True
-        for va in group_a:
-            for vb in group_b:
-                if rules.strongly_interfere(va, vb):
-                    return True
-        for site in self._sites(ra):
-            for vb in self.members[rb]:
-                if vb not in killed_b and self._site_kills(site, vb):
-                    return True
-        for site in self._sites(rb):
-            for va in self.members[ra]:
-                if va not in killed_a and self._site_kills(site, va):
-                    return True
+        if self._kill_union_mask(rb) & mask_a:
+            for writer in self.members[rb]:
+                candidates = oracle.kill_candidates_mask(writer) & mask_a
+                while candidates:
+                    low = candidates & -candidates
+                    candidates ^= low
+                    victim = index.value(low.bit_length() - 1)
+                    if oracle.variable_kills(writer, victim):
+                        return True
+        if self._kill_union_mask(ra) & mask_b:
+            for writer in self.members[ra]:
+                candidates = oracle.kill_candidates_mask(writer) & mask_b
+                while candidates:
+                    low = candidates & -candidates
+                    candidates ^= low
+                    victim = index.value(low.bit_length() - 1)
+                    if oracle.variable_kills(writer, victim):
+                        return True
+        # Strong interference on the merged signatures replaces the old
+        # |A| x |B| strongly_interfere sweep (exact: see StrongSig).
+        if self._sig(ra).interferes(self._sig(rb)):
+            return True
+        sites_a = self._sites(ra)
+        if sites_a:
+            for site in sites_a:
+                for vb in self.members[rb]:
+                    if vb not in killed_b and self._site_kills(site, vb):
+                        return True
+        sites_b = self._sites(rb)
+        if sites_b:
+            for site in sites_b:
+                for va in self.members[ra]:
+                    if va not in killed_a and self._site_kills(site, va):
+                        return True
         return False
 
 
@@ -330,10 +446,11 @@ class _Coalescer:
             from ..analysis.manager import AnalysisManager
 
             analyses = AnalysisManager()
-        self.rules = analyses.kill_rules(function, mode)
-        self.ssa = self.rules.ssa
+        self.oracle = analyses.dominterf(function, mode)
+        self.rules = self.oracle.rules
+        self.ssa = self.oracle.ssa
         self.loops = analyses.loops(function)
-        self.pool = ResourcePool(function, self.rules)
+        self.pool = ResourcePool(function, self.oracle)
         self.traversal = traversal
         self.stats = CoalescingStats()
 
@@ -465,7 +582,9 @@ class _Coalescer:
                 continue
             rep = members[0]
             for other in members[1:]:
-                rep = self.pool.merge(rep, other)
+                # safety_split certified the component pairwise
+                # non-interfering, so caches fuse instead of rebuilding.
+                rep = self.pool.merge(rep, other, certified=True)
             self.stats.merged_components += 1
             merged += 1
             if self.tracer.enabled:

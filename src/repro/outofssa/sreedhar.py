@@ -145,7 +145,11 @@ class _Converter:
             from ..analysis.manager import AnalysisManager
 
             analyses = AnalysisManager()
-        self.ssa = analyses.ssa(function)
+        # All pairwise questions go through the memoized dominance
+        # oracle: Method III re-asks the same member pairs across
+        # phis (congruence classes grow one phi at a time).
+        self.oracle = analyses.dominterf(function)
+        self.ssa = self.oracle.ssa
         self.classes = _Classes()
         self.stats = SreedharStats()
         # Batched physical edits: copies at block ends / tops.
@@ -187,7 +191,7 @@ class _Converter:
         # Two ordinary SSA variables.
         if self._same_block_phi_defs(a, b):
             return True
-        return self.ssa.interfere(a, b)
+        return self.oracle.interfere(a, b)
 
     def _same_block_phi_defs(self, a: Var, b: Var) -> bool:
         site_a = self.ssa.defuse.def_site(a)

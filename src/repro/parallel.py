@@ -54,7 +54,8 @@ from .observability import resolve as resolve_tracer
 
 #: The integer keys of the ``analysis_cache`` block, in the canonical
 #: order :meth:`AnalysisManager.stats` emits them.
-_CACHE_KEYS = ("hits", "misses", "invalidations", "preserved")
+_CACHE_KEYS = ("hits", "misses", "invalidations", "preserved",
+               "oracle_hits", "oracle_misses")
 
 
 # ----------------------------------------------------------------------

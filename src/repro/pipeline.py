@@ -282,6 +282,12 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
                                    tracer=tracer).observable()
 
         in_ssa = False
+        #: function -> (epoch, cfg_epoch, in_ssa) at its last clean
+        #: validation.  A phase that left both epochs alone (pin-only
+        #: phases by contract, or a fixpoint pass that found nothing to
+        #: do) cannot have changed what the validator looks at -- pins
+        #: are resources, not IR -- so the check is skipped.
+        validated: dict[Function, tuple[int, int, bool]] = {}
         for phase in phases:
             before = _snapshot(work) if tracer.enabled else None
             with tracer.span(f"phase:{phase}", phase=phase) as span:
@@ -338,8 +344,12 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
             if validate:
                 with tracer.span(f"validate:{phase}"):
                     for function in work.iter_functions():
+                        stamp = (function.epoch, function.cfg_epoch, in_ssa)
+                        if validated.get(function) == stamp:
+                            continue
                         validate_function(function, ssa=in_ssa,
                                           allow_phis=in_ssa)
+                        validated[function] = stamp
 
         if references:
             with tracer.span("verify:after"):
@@ -353,7 +363,7 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
                             f"behaviour: {reference} -> {after}")
 
         result.moves = count_moves(work)
-        result.weighted = weighted_moves(work)
+        result.weighted = weighted_moves(work, analyses=manager)
         result.instructions = count_instructions(work)
         result.analysis_cache = manager.stats()
     return result

@@ -33,7 +33,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..analysis.interference import KillRules, SSAInterference
 from ..ir.function import Function
 from ..ir.instructions import Instruction, Operand
 from ..ir.types import Var
@@ -47,19 +46,26 @@ class PsiStats:
     split_args: int = 0
 
 
-def make_psi_conventional(function: Function) -> PsiStats:
+def make_psi_conventional(function: Function, analyses=None) -> PsiStats:
     """Pin psi operands to a common resource where interference-free.
 
     Must run on SSA form, before the phi coalescer (the pins it places
     participate in the later grouping exactly like 2-operand ties).
+    ``analyses`` optionally supplies the shared
+    :class:`~repro.analysis.manager.AnalysisManager`; queries go through
+    its :meth:`~repro.analysis.manager.AnalysisManager.dominterf` oracle
+    rather than a privately materialized interference structure.
     """
     stats = PsiStats()
     psis = [instr for block in function.iter_blocks()
             for instr in block.body if instr.opcode == "psi"]
     if not psis:
         return stats
-    ssa = SSAInterference(function)
-    rules = KillRules(ssa)
+    if analyses is None:
+        from ..analysis.manager import AnalysisManager
+
+        analyses = AnalysisManager()
+    rules = analyses.dominterf(function)
     def_ops: dict[Var, Operand] = {}
     for instr in function.instructions():
         for op in instr.defs:

@@ -86,6 +86,9 @@ def _fold_round(function: Function) -> int:
             target = taken if term.uses[0].value.value else fallthrough
             dead = fallthrough if target == taken else taken
             block.body[-1] = make_branch(target)
+            # An edge disappeared: structural mutation, even when the
+            # dead target stays reachable along other paths.
+            function.bump_cfg_epoch()
             changed += 1
             # drop the phi operands flowing along the dead edge
             dead_block = function.blocks.get(dead)

@@ -25,7 +25,8 @@ def test_hit_returns_same_object():
     second = manager.liveness(f)
     assert first is second
     assert manager.stats() == {"hits": 1, "misses": 2,  # liveness+varindex
-                               "invalidations": 0, "preserved": 0}
+                               "invalidations": 0, "preserved": 0,
+                               "oracle_hits": 0, "oracle_misses": 0}
 
 
 def test_mutation_rebuilds_stale_analysis():

@@ -84,6 +84,13 @@ class TestCompile:
         assert "pinned SSA" in err
         assert "phi" in err
 
+    def test_profile_passes(self, lai_file, capsys):
+        assert main(["compile", lai_file, "--profile-passes"]) == 0
+        err = capsys.readouterr().err
+        assert "self(ms)" in err and "total(ms)" in err
+        assert "phase:pinningPhi" in err
+        assert "TOTAL" in err
+
     def test_missing_file(self, capsys):
         with pytest.raises(SystemExit):
             main(["compile", "/nonexistent/x.lai"])

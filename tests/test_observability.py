@@ -9,7 +9,8 @@ import repro.pipeline as pipeline_mod
 from repro.benchgen.figures import ALL_FIGURES
 from repro.interp.interpreter import Interpreter
 from repro.observability import (NULL_TRACER, SchemaError, Tracer,
-                                 chrome_trace_json, phase_table, resolve,
+                                 chrome_trace_json, pass_profile,
+                                 pass_self_times, phase_table, resolve,
                                  summary, validate_stats)
 from repro.pipeline import EXPERIMENTS, run_experiment
 from repro.profile import profile_blocks
@@ -237,6 +238,57 @@ class TestPhaseBreakdown:
         text = summary(tracer)
         assert "phase:coalescing" in text
         assert "counters:" in text
+
+
+class TestPassProfile:
+    def test_self_time_subtracts_direct_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("inner"):
+                pass
+        rows = {r["pass"]: r for r in pass_self_times(tracer)}
+        assert rows["inner"]["calls"] == 2
+        outer, = [s for s in tracer.spans if s.name == "outer"]
+        inners = [s for s in tracer.spans if s.name == "inner"]
+        leaf, = [s for s in tracer.spans if s.name == "leaf"]
+        assert rows["outer"]["self_ns"] == outer.duration_ns \
+            - sum(s.duration_ns for s in inners)
+        assert rows["inner"]["total_ns"] == \
+            sum(s.duration_ns for s in inners)
+        # only direct children are subtracted: leaf comes out of the
+        # first inner's self time, not out of outer's.
+        assert rows["inner"]["self_ns"] == rows["inner"]["total_ns"] \
+            - leaf.duration_ns
+        assert rows["leaf"]["self_ns"] == rows["leaf"]["total_ns"]
+
+    def test_open_spans_are_skipped(self):
+        tracer = Tracer()
+        open_span = tracer.span("never-closed")
+        open_span.__enter__()
+        with tracer.span("closed"):
+            pass
+        names = [r["pass"] for r in pass_self_times(tracer)]
+        assert names == ["closed"]
+
+    def test_rows_sorted_by_self_time(self):
+        tracer = Tracer()
+        run_experiment(module_of(LOOPY), "Lphi,ABI+C", tracer=tracer)
+        rows = pass_self_times(tracer)
+        assert [r["self_ns"] for r in rows] == \
+            sorted((r["self_ns"] for r in rows), reverse=True)
+        for row in rows:
+            assert 0 <= row["self_ns"] <= row["total_ns"]
+
+    def test_profile_renders(self):
+        tracer = Tracer()
+        run_experiment(module_of(LOOPY), "Lphi,ABI+C", tracer=tracer)
+        text = pass_profile(tracer)
+        assert "phase:pinningPhi" in text
+        assert "self(ms)" in text and "TOTAL" in text
+        assert pass_profile(Tracer()).startswith("(no pass profile")
 
 
 class TestStatsDocument:

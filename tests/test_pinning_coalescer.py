@@ -3,7 +3,7 @@ and the worked examples (Figures 5, 7, 9, 11)."""
 
 import pytest
 
-from repro.analysis import KillRules, SSAInterference
+from repro.analysis import InterferenceOracle, KillRules, SSAInterference
 from repro.interp import run_function, run_module
 from repro.ir import validate_function
 from repro.ir.types import PhysReg, Var
@@ -22,7 +22,8 @@ def v(name):
 
 def pool_for(src):
     f = function_of(src)
-    return f, ResourcePool(f, KillRules(SSAInterference(f)))
+    oracle = InterferenceOracle(KillRules(SSAInterference(f)))
+    return f, ResourcePool(f, oracle)
 
 
 class TestResourcePool:

@@ -1,0 +1,141 @@
+"""Regression: pruning must break equal-weight ties deterministically.
+
+The greedy loop once picked its victim with ``max()`` over a dict whose
+iteration order was an accident of construction; the exact solver
+branched in dict order too.  Both now carry an explicit order --
+insertion sequence for :func:`weighted_prune` (part of the heap key),
+the canonical vertex key for :func:`optimal_prune` -- so equal-weight
+instances must produce identical kept-edge sets on every run and at
+every ``--jobs`` value.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.printer import format_module
+from repro.outofssa.affinity import (edge_key, greedy_prune, optimal_prune,
+                                     weighted_prune)
+from repro.pipeline import run_experiment
+from repro.ssa import variable_resources
+
+
+def interferes_from_pairs(pairs):
+    bad = {frozenset(p) for p in pairs}
+
+    def interfere(a, b):
+        return frozenset((a, b)) in bad
+
+    return interfere
+
+
+#: A 4-cycle where every edge scores the same weight (4) and the same
+#: multiplicity (2): a pure tie, resolved only by the explicit order.
+TIED_EDGES = [(("a", "b"), 2), (("b", "c"), 2),
+              (("c", "d"), 2), (("a", "d"), 2)]
+TIED_INTERFERENCE = [("a", "c"), ("b", "d")]
+
+
+def tied_instance():
+    return {edge_key(*pair): mult for pair, mult in TIED_EDGES}
+
+
+class TestWeightedPrune:
+    def test_identical_kept_set_across_runs(self):
+        interfere = interferes_from_pairs(TIED_INTERFERENCE)
+        runs = []
+        for _ in range(3):
+            edges = tied_instance()
+            removed = weighted_prune(edges, interfere)
+            runs.append((removed, dict(edges)))
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_first_inserted_edge_wins_the_tie(self):
+        """All four edges tie at weight 4 x multiplicity 2: the first
+        one built must be the first removed."""
+        interfere = interferes_from_pairs(TIED_INTERFERENCE)
+        edges = tied_instance()
+        first = next(iter(edges))
+        weighted_prune(edges, interfere)
+        assert first not in edges
+
+    @given(seed=st.integers(0, 2**30))
+    @settings(max_examples=50, deadline=None)
+    def test_random_instances_reproduce(self, seed):
+        rng = random.Random(seed)
+        vertices = [f"v{i}" for i in range(rng.randint(3, 9))]
+        pool = [(a, b) for i, a in enumerate(vertices)
+                for b in vertices[i + 1:]]
+        rng.shuffle(pool)
+        raw_edges = [(pair, rng.randint(1, 3))
+                     for pair in pool[:rng.randint(2, len(pool))]]
+        conflicts = [pair for pair in pool if rng.random() < 0.4]
+        interfere = interferes_from_pairs(conflicts)
+        outcomes = []
+        for _ in range(2):
+            edges = {edge_key(*pair): mult for pair, mult in raw_edges}
+            removed = greedy_prune(edges, interfere)
+            outcomes.append((removed, sorted(edges.items())))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestOptimalPrune:
+    def test_insertion_order_cannot_change_the_answer(self):
+        """The exact solver sorts by (multiplicity, canonical key):
+        shuffling the input dict must not move the optimum."""
+        interfere = interferes_from_pairs(TIED_INTERFERENCE)
+        reference = None
+        items = list(tied_instance().items())
+        for seed in range(6):
+            rng = random.Random(seed)
+            shuffled = list(items)
+            rng.shuffle(shuffled)
+            kept = optimal_prune(dict(shuffled), interfere)
+            if reference is None:
+                reference = kept
+            assert kept == reference, f"shuffle seed {seed} diverged"
+
+    @given(seed=st.integers(0, 2**30))
+    @settings(max_examples=40, deadline=None)
+    def test_random_instances_shuffle_invariant(self, seed):
+        rng = random.Random(seed)
+        vertices = [f"v{i}" for i in range(rng.randint(3, 7))]
+        pool = [(a, b) for i, a in enumerate(vertices)
+                for b in vertices[i + 1:]]
+        raw_edges = [(pair, rng.randint(1, 3))
+                     for pair in pool if rng.random() < 0.6]
+        conflicts = [pair for pair in pool if rng.random() < 0.4]
+        interfere = interferes_from_pairs(conflicts)
+        shuffled = list(raw_edges)
+        rng.shuffle(shuffled)
+        kept_a = optimal_prune(
+            {edge_key(*p): m for p, m in raw_edges}, interfere)
+        kept_b = optimal_prune(
+            {edge_key(*p): m for p, m in shuffled}, interfere)
+        assert kept_a == kept_b
+
+
+class TestAcrossJobs:
+    """Tie-breaking must not depend on how functions are sharded."""
+
+    def test_pipeline_identical_across_jobs(self):
+        from repro.benchgen.synthetic import SyntheticConfig, generate_module
+
+        module, _ = generate_module(11, n_functions=6,
+                                    config=SyntheticConfig(),
+                                    name="prune_determinism")
+        reference = None
+        for jobs in (1, 2, 4):
+            result = run_experiment(module, "Lphi,ABI+C", jobs=jobs)
+            text = format_module(result.module)
+            resources = {
+                f.name: sorted((str(v), str(r)) for v, r in
+                               variable_resources(f).items())
+                for f in result.module.iter_functions()}
+            if reference is None:
+                reference = (text, resources)
+            else:
+                assert (text, resources) == reference, \
+                    f"jobs={jobs} diverged"
