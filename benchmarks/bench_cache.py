@@ -1,0 +1,164 @@
+"""Cold-vs-warm benchmark and correctness gate for the persistent cache.
+
+Two promises of ``src/repro/cache/`` are enforced here (and in the CI
+``bench-smoke`` job):
+
+* **speed** -- recompiling a paper suite with a fully warm cache must
+  be at least ``--gate``x (default 2x) faster than the cold compile,
+  comparing min-over-rounds wall times (min, not mean: the cache wins
+  by *not doing work*, so the best observed time is the honest signal);
+* **correctness** -- the paper's Tables 2-5 results (per-experiment
+  move/weighted counts *and* the transformed module text) must be
+  byte-identical cache-hot and cache-cold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py \
+        [--rounds 3] [--gate 2.0] [--update BENCH_compile_time.json]
+
+``--update`` rewrites the target file's ``cache`` block with the
+measured numbers, like ``parallel_speedup.py`` does for its block.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+
+SUITE_NAMES = ("VALcc1", "LAI_Large", "SPECint")
+EXPERIMENT = "Lphi,ABI+C"
+GATED_SUITE = "LAI_Large"
+
+
+def min_seconds(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(rounds: int) -> dict:
+    """Per-suite cold/warm min times for the recommended pipeline."""
+    from repro.benchgen import all_suites
+    from repro.cache import CompilationCache
+    from repro.pipeline import run_experiment
+
+    suites = {s.name: s for s in all_suites()}
+    rows: dict = {}
+    for name in SUITE_NAMES:
+        module = suites[name].module
+        run_experiment(module, EXPERIMENT)  # warm imports and analyses
+
+        def cold():
+            # a fresh directory every round: stores included, hits none
+            path = tempfile.mkdtemp(prefix="repro-cache-cold-")
+            try:
+                run_experiment(module, EXPERIMENT, cache=path)
+            finally:
+                shutil.rmtree(path, ignore_errors=True)
+
+        cold_s = min_seconds(cold, rounds)
+
+        warm_dir = tempfile.mkdtemp(prefix="repro-cache-warm-")
+        try:
+            run_experiment(module, EXPERIMENT, cache=warm_dir)  # populate
+            cache = CompilationCache(warm_dir)
+            warm_s = min_seconds(
+                lambda: run_experiment(module, EXPERIMENT, cache=cache),
+                rounds)
+            assert cache.misses == 0, \
+                f"{name}: warm rounds missed ({cache.misses})"
+        finally:
+            shutil.rmtree(warm_dir, ignore_errors=True)
+
+        rows[name] = {"cold_s": round(cold_s, 4),
+                      "warm_s": round(warm_s, 4),
+                      "speedup": round(cold_s / warm_s, 2)}
+        print(f"{name}: cold {cold_s:.4f}s  warm {warm_s:.4f}s  "
+              f"({cold_s / warm_s:.2f}x)")
+    return rows
+
+
+def check_tables_identical() -> int:
+    """Tables 2-5 cache-hot must equal cache-cold byte for byte."""
+    from repro.benchgen import all_suites
+    from repro.ir.printer import format_module
+    from repro.pipeline import TABLE_EXPERIMENTS, run_table, run_table5
+
+    def snapshot(module, cache):
+        cells = []
+        for table in TABLE_EXPERIMENTS:
+            for result in run_table(module, table, cache=cache):
+                cells.append((table, result.name, result.moves,
+                              result.weighted,
+                              format_module(result.module)))
+        for result in run_table5(module, cache=cache):
+            cells.append(("table5", result.name, result.moves,
+                          result.weighted, format_module(result.module)))
+        return cells
+
+    failures = 0
+    cache_dir = tempfile.mkdtemp(prefix="repro-cache-tables-")
+    try:
+        for suite in all_suites():
+            cold = snapshot(suite.module, cache_dir)   # populates
+            hot = snapshot(suite.module, cache_dir)    # replays
+            if hot != cold:
+                diverged = [(t, n) for (t, n, *a), (t2, n2, *b)
+                            in zip(cold, hot) if a != b]
+                print(f"FAIL: {suite.name}: cache-hot tables diverged "
+                      f"from cold at {diverged}")
+                failures += 1
+            else:
+                print(f"tables 2-5 byte-identical cache-hot: {suite.name}")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return failures
+
+
+def update_summary(path: str, rows: dict) -> None:
+    with open(path) as handle:
+        summary = json.load(handle)
+    summary["cache"] = {
+        "suites": rows,
+        "note": ("cold = fresh --cache-dir (stores included), warm = "
+                 "fully populated store; min-over-rounds wall times; "
+                 "the >=2x LAI_Large warm speedup is enforced by "
+                 "benchmarks/bench_cache.py in CI bench-smoke."),
+    }
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--gate", type=float, default=2.0,
+                        help="minimum warm-over-cold speedup for "
+                             f"{GATED_SUITE} (0 disables)")
+    parser.add_argument("--update", metavar="SUMMARY_JSON", default=None,
+                        help="rewrite this file's 'cache' block with "
+                             "the measurements")
+    args = parser.parse_args(argv)
+    failures = check_tables_identical()
+    rows = measure(args.rounds)
+    if args.update:
+        update_summary(args.update, rows)
+    if args.gate:
+        speedup = rows[GATED_SUITE]["speedup"]
+        if speedup < args.gate:
+            print(f"FAIL: {GATED_SUITE} warm cache speedup {speedup}x "
+                  f"< required {args.gate}x")
+            return 1
+        print(f"gate ok: {GATED_SUITE} warm {speedup}x >= {args.gate}x")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

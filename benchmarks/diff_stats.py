@@ -9,9 +9,11 @@ The parallel engine (``--jobs``) promises that every *non-timing*
 field of a ``repro.stats`` document is identical at any job count.
 This script enforces that promise in CI: it loads two documents (or
 ``repro.stats-collection`` files), strips the documented
-non-deterministic fields -- the ``parallel`` block and per-phase
-``seq``/``start_ns``/``duration_ns`` -- and reports the first path at
-which the remainders differ.  Exit status 0 means equal, 1 means a
+non-deterministic fields -- the ``parallel`` and persistent-``cache``
+blocks and per-phase ``seq``/``start_ns``/``duration_ns`` -- and
+reports the first path at which the remainders differ.  The same
+stripping makes it the tool for diffing a cache-hot against a
+cache-cold run (see docs/caching.md).  Exit status 0 means equal, 1 means a
 real divergence, 2 means usage/IO error.
 """
 
@@ -28,6 +30,20 @@ def strip_timing(document):
                 "runs": [strip_timing(run) for run in document["runs"]]}
     document = dict(document)
     document.pop("parallel", None)
+    # The persistent-cache block describes the run's *environment*
+    # (how warm the store happened to be), not its output.  The same
+    # goes for instrumentation volume: a cache-hot run performs less
+    # analysis work and emits fewer decision events, so the
+    # ``analysis_cache`` block, the ``events`` count and the
+    # ``analysis.*`` counters vary with cache temperature while every
+    # paper metric and decision counter must not.
+    document.pop("cache", None)
+    document.pop("analysis_cache", None)
+    document.pop("events", None)
+    if "counters" in document:
+        document["counters"] = {
+            name: value for name, value in document["counters"].items()
+            if not name.startswith("analysis.")}
     phases = []
     for entry in document.get("phases", ()):
         entry = {k: v for k, v in entry.items() if k not in TIMING_KEYS}

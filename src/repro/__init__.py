@@ -33,7 +33,7 @@ from .pipeline import (EXPERIMENTS, ExperimentResult, PhaseOptions,
 __version__ = "1.0.0"
 
 
-def compile_module(module, verify=None, options=None):
+def compile_module(module, verify=None, options=None, cache=None):
     """Run the paper's recommended pipeline (``Lφ,ABI+C``) on *module*.
 
     SSA construction, SP/ABI constraint collection, pinning-based phi
@@ -41,9 +41,12 @@ def compile_module(module, verify=None, options=None):
     coalescing pass.  Returns an
     :class:`~repro.pipeline.ExperimentResult` whose ``module`` attribute
     holds the transformed (phi-free, constraint-respecting) program.
+    ``cache`` optionally names a persistent compilation-cache directory
+    (see :mod:`repro.cache`); identical recompiles then become cache
+    hits with identical output.
     """
     return run_experiment(module, "Lphi,ABI+C", options=options,
-                          verify=verify)
+                          verify=verify, cache=cache)
 
 
 __all__ = ["compile_module", "count_instructions", "count_moves",

@@ -100,7 +100,8 @@ def cmd_compile(args) -> int:
     tracer = _tracer_for(args)
     result = run_experiment(module, args.experiment,
                             options=_options(args), verify=verify,
-                            tracer=tracer, jobs=args.jobs)
+                            tracer=tracer, jobs=args.jobs,
+                            cache=args.cache_dir)
     if args.trace:
         write_chrome_trace(tracer, args.trace)
     if args.stats_json:
@@ -142,7 +143,8 @@ def cmd_run(args) -> int:
 
 def cmd_experiments(args) -> int:
     module = _load(args.file)
-    results = run_experiments(module, tracer=Tracer, jobs=args.jobs)
+    results = run_experiments(module, tracer=Tracer, jobs=args.jobs,
+                              cache=args.cache_dir)
     if args.stats_json:
         _write_json(args.stats_json,
                     {"schema": COLLECTION_SCHEMA,
@@ -176,7 +178,7 @@ def cmd_tables(args) -> int:
         for suite in suites:
             results = run_table(suite.module, table,
                                 tracer=Tracer if args.stats_json else None,
-                                jobs=args.jobs)
+                                jobs=args.jobs, cache=args.cache_dir)
             cells = []
             for result in results:
                 value = result.weighted if args.weighted else result.moves
@@ -198,6 +200,12 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for parallel compilation "
                              "(0 = all cores; default $REPRO_JOBS or 1; "
                              "output is identical at any job count)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent content-addressed compilation "
+                             "cache directory (default $REPRO_CACHE, "
+                             "unset = no caching; output is identical "
+                             "cache-hot and cache-cold; "
+                             "$REPRO_CACHE_LIMIT caps the size in bytes)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -3,7 +3,7 @@
 Two document shapes are emitted by the CLI and the benchmark harness
 (see ``docs/observability.md`` for the field-by-field reference):
 
-``repro.stats/v1.3``
+``repro.stats/v1.4``
     One experiment run: totals, the per-phase breakdown (timing plus
     move/instruction/phi deltas per function), raw per-phase pass
     statistics, counters, the event count, the ``analysis_cache``
@@ -12,13 +12,17 @@ Two document shapes are emitted by the CLI and the benchmark harness
     :class:`repro.analysis.manager.AnalysisManager`; since v1.3 also
     ``oracle_hits``/``oracle_misses`` -- memo traffic of the
     query-based interference oracle,
-    :mod:`repro.analysis.dominterf`) and the optional ``parallel``
+    :mod:`repro.analysis.dominterf`), the optional ``parallel``
     block (v1.2) describing the fork-pool execution (worker count,
     shard sizes, per-worker wall time, merge time; see
-    :mod:`repro.parallel`).  Produced by
+    :mod:`repro.parallel`), and the optional ``cache`` block (v1.4)
+    reporting persistent compilation-cache traffic
+    (hits/misses/stores/evictions/bytes, from
+    :class:`repro.cache.CompilationCache`; summed across workers in
+    parallel runs).  Produced by
     :meth:`repro.pipeline.ExperimentResult.to_stats`.  ``repro.stats/v1``
-    through ``v1.2`` documents (no ``parallel`` / ``analysis_cache`` /
-    oracle counters) remain valid input.
+    through ``v1.3`` documents (no ``parallel`` / ``analysis_cache`` /
+    oracle counters / ``cache`` block) remain valid input.
 
 ``repro.stats-collection/v1``
     ``{"schema": ..., "runs": [<stats doc>, ...]}`` -- many runs in one
@@ -39,16 +43,18 @@ from __future__ import annotations
 import json
 from typing import Any
 
-STATS_SCHEMA = "repro.stats/v1.3"
+STATS_SCHEMA = "repro.stats/v1.4"
 COLLECTION_SCHEMA = "repro.stats-collection/v1"
 
 #: Schemas consumers must accept: the current one plus every prior
 #: minor revision (v1 documents lack the ``analysis_cache`` block
 #: introduced in v1.1; v1.1 documents lack the ``parallel`` block
 #: introduced in v1.2; v1.2 documents lack the oracle counters
-#: introduced in v1.3).
+#: introduced in v1.3; v1.3 documents lack the ``cache`` block
+#: introduced in v1.4).
 ACCEPTED_STATS_SCHEMAS = ("repro.stats/v1", "repro.stats/v1.1",
-                          "repro.stats/v1.2", "repro.stats/v1.3")
+                          "repro.stats/v1.2", "repro.stats/v1.3",
+                          "repro.stats/v1.4")
 
 #: The integer fields of the optional ``analysis_cache`` block.
 ANALYSIS_CACHE_KEYS = ("hits", "misses", "invalidations", "preserved")
@@ -56,6 +62,14 @@ ANALYSIS_CACHE_KEYS = ("hits", "misses", "invalidations", "preserved")
 #: Additional ``analysis_cache`` fields required since v1.3: memo
 #: traffic of the dominance interference oracle.
 ORACLE_CACHE_KEYS = ("oracle_hits", "oracle_misses")
+
+#: Schemas whose ``analysis_cache`` block must carry the oracle
+#: counters (they became part of the block in v1.3).
+_ORACLE_SCHEMAS = frozenset({"repro.stats/v1.3", "repro.stats/v1.4"})
+
+#: The required integer fields of the optional ``cache`` block (v1.4):
+#: persistent compilation-cache traffic (see :mod:`repro.cache`).
+CACHE_BLOCK_KEYS = ("hits", "misses", "stores", "evictions", "bytes")
 
 #: The required integer fields of the optional ``parallel`` block and
 #: of each of its ``shards[]`` entries.
@@ -144,15 +158,18 @@ def validate_stats(doc: Any, where: str = "$") -> None:
         _expect(isinstance(value, int) and not isinstance(value, bool),
                 f"{where}.counters", f"{name!r} must map to an integer")
     _expect_int(doc, "events", where)
-    cache = doc.get("analysis_cache")
-    if cache:  # optional; absent in v1 documents, may be empty in v1.1
+    analysis_cache = doc.get("analysis_cache")
+    if analysis_cache:  # optional; absent in v1 docs, may be empty in v1.1
         keys = ANALYSIS_CACHE_KEYS
-        if schema == STATS_SCHEMA:
+        if schema in _ORACLE_SCHEMAS:
             keys = ANALYSIS_CACHE_KEYS + ORACLE_CACHE_KEYS
-        _validate_measures(cache, keys, f"{where}.analysis_cache")
+        _validate_measures(analysis_cache, keys, f"{where}.analysis_cache")
     parallel = doc.get("parallel")
     if parallel:  # optional; absent in serial runs and pre-v1.2 docs
         _validate_parallel(parallel, f"{where}.parallel")
+    cache = doc.get("cache")
+    if cache:  # optional; absent without a persistent cache (pre-v1.4)
+        _validate_measures(cache, CACHE_BLOCK_KEYS, f"{where}.cache")
 
 
 def _validate_parallel(block: Any, where: str) -> None:

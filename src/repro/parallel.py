@@ -118,14 +118,15 @@ def _shard_task(spec):
     from . import pipeline as _pipeline
 
     index, names = spec
-    module, name, phases, options, target, validate, traced = _WORKER_STATE
+    module, name, phases, options, target, validate, traced, cache = \
+        _WORKER_STATE
     shard = Module(module.name)
     for fn_name in names:
         shard.add_function(module.functions[fn_name])  # run_phases copies
     tracer = Tracer() if traced else None
     start = time.perf_counter_ns()
     result = _pipeline.run_phases(shard, name, phases, options, target,
-                                  None, validate, tracer)
+                                  None, validate, tracer, cache=cache)
     return index, _result_payload(result, time.perf_counter_ns() - start)
 
 
@@ -134,11 +135,12 @@ def _experiment_task(spec):
     from . import pipeline as _pipeline
 
     index, label, name, options = spec
-    module, verify, validate, traced, target = _WORKER_STATE
+    module, verify, validate, traced, target, cache = _WORKER_STATE
     tracer = Tracer() if traced else None
     start = time.perf_counter_ns()
     result = _pipeline.run_phases(module, name, _pipeline.EXPERIMENTS[name],
-                                  options, target, verify, validate, tracer)
+                                  options, target, verify, validate, tracer,
+                                  cache=cache)
     payload = _result_payload(result, time.perf_counter_ns() - start)
     return index, label, payload
 
@@ -156,6 +158,7 @@ def _result_payload(result, wall_ns: int) -> dict:
         "phase_stats": result.phase_stats,
         "phase_breakdown": result.phase_breakdown,
         "analysis_cache": result.analysis_cache,
+        "cache": result.cache,
         "tracer": _tracer_payload(tracer) if tracer.enabled else None,
         "wall_ns": wall_ns,
     }
@@ -287,13 +290,26 @@ def _merge_cache_stats(payloads: Sequence[dict]) -> dict:
             for key in _CACHE_KEYS}
 
 
+def _merge_store_stats(payloads: Sequence[dict]) -> dict:
+    """Persistent-cache traffic summed across workers (the workers
+    probed/stored a shared directory; hits+misses therefore add up to
+    the function count at any job count)."""
+    from .cache import CACHE_STATS_KEYS
+
+    if not any(p.get("cache") for p in payloads):
+        return {}
+    return {key: sum(p["cache"].get(key, 0) for p in payloads)
+            for key in CACHE_STATS_KEYS}
+
+
 # ----------------------------------------------------------------------
 # Function-level parallel experiment
 # ----------------------------------------------------------------------
 def run_phases_parallel(module: Module, name: str, phases,
                         options=None, target: Target = ST120,
                         verify=None, validate: bool = True,
-                        tracer=None, jobs: Optional[int] = None):
+                        tracer=None, jobs: Optional[int] = None,
+                        cache=None):
     """Parallel twin of :func:`repro.pipeline.run_phases`.
 
     Shards the module's functions across a fork pool, each worker
@@ -311,17 +327,17 @@ def run_phases_parallel(module: Module, name: str, phases,
     workers = min(resolve_jobs(jobs), len(module.functions))
     if workers <= 1 or len(module.functions) <= 1 or not fork_available():
         return _pipeline.run_phases(module, name, phases, options, target,
-                                    verify, validate, tracer)
+                                    verify, validate, tracer, cache=cache)
 
     shards = partition_functions(module, workers)
     state = (module, name, phases, options, target, validate,
-             tracer.enabled)
+             tracer.enabled, cache)
     pool_start = time.perf_counter_ns()
     outcomes = _run_pool(state, _shard_task, list(enumerate(shards)),
                          len(shards))
     if outcomes is None:  # a worker died: degrade, don't fail
         return _pipeline.run_phases(module, name, phases, options, target,
-                                    verify, validate, tracer)
+                                    verify, validate, tracer, cache=cache)
     pool_ns = time.perf_counter_ns() - pool_start
     payloads = [payload for _, payload in sorted(outcomes)]
 
@@ -349,6 +365,7 @@ def run_phases_parallel(module: Module, name: str, phases,
         if tracer.enabled:
             result.phase_breakdown = _merge_phase_breakdown(payloads, order)
         result.analysis_cache = _merge_cache_stats(payloads)
+        result.cache = _merge_store_stats(payloads)
         merge_ns = time.perf_counter_ns() - merge_start
 
         if references:
@@ -384,7 +401,8 @@ def run_phases_parallel(module: Module, name: str, phases,
 def run_experiments_parallel(module: Module, specs, verify=None,
                              validate: bool = True, traced: bool = False,
                              target: Target = ST120,
-                             jobs: Optional[int] = None):
+                             jobs: Optional[int] = None,
+                             cache=None):
     """Run ``(label, experiment, options)`` *specs* across a fork pool,
     one whole experiment per task (the outer-level sharding used by
     ``run_table``/``run_table5``/``repro experiments``).
@@ -398,7 +416,7 @@ def run_experiments_parallel(module: Module, specs, verify=None,
     workers = min(resolve_jobs(jobs), len(specs))
     if workers <= 1 or len(specs) <= 1 or not fork_available():
         return None
-    state = (module, verify, validate, traced, target)
+    state = (module, verify, validate, traced, target, cache)
     pool_specs = [(i, label, name, options)
                   for i, (label, name, options) in enumerate(specs)]
     outcomes = _run_pool(state, _experiment_task, pool_specs, workers)
@@ -418,7 +436,8 @@ def run_experiments_parallel(module: Module, specs, verify=None,
             phase_stats=payload["phase_stats"],
             phase_breakdown=payload["phase_breakdown"],
             tracer=resolve_tracer(tracer),
-            analysis_cache=payload["analysis_cache"])
+            analysis_cache=payload["analysis_cache"],
+            cache=payload["cache"])
         result.parallel = {
             "mode": "experiments",
             "jobs": workers,

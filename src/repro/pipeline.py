@@ -101,6 +101,11 @@ class ExperimentResult:
     #: wall time, merge time) when the run used the fork-pool driver
     #: (:mod:`repro.parallel`); empty for serial runs.
     parallel: dict = field(default_factory=dict)
+    #: Persistent-cache traffic of this run
+    #: (hits/misses/stores/evictions/bytes/corrupt, from
+    #: :meth:`repro.cache.CompilationCache.stats_since`); empty when no
+    #: cache was configured.
+    cache: dict = field(default_factory=dict)
 
     def row(self) -> tuple:
         return (self.name, self.moves, self.weighted)
@@ -122,6 +127,8 @@ class ExperimentResult:
         }
         if self.parallel:
             document["parallel"] = jsonable(self.parallel)
+        if self.cache:
+            document["cache"] = dict(self.cache)
         return document
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -193,7 +200,8 @@ def run_experiment(module: Module, name: str,
                    = None,
                    validate: bool = True,
                    tracer=None,
-                   jobs: Optional[int] = None) -> ExperimentResult:
+                   jobs: Optional[int] = None,
+                   cache=None) -> ExperimentResult:
     """Run experiment *name* on a fresh copy of *module*.
 
     ``verify`` is an optional list of ``(function_name, args)`` pairs;
@@ -205,19 +213,25 @@ def run_experiment(module: Module, name: str,
     worker pool (see :mod:`repro.parallel`): ``None`` reads
     ``$REPRO_JOBS`` (default 1 = serial), ``0`` uses every core;
     results are merged deterministically, so output is identical at
-    any job count.
+    any job count.  ``cache`` enables the persistent compilation cache
+    (:mod:`repro.cache`): a :class:`~repro.cache.CompilationCache`, a
+    directory path, or ``None`` to consult ``$REPRO_CACHE`` (unset =
+    no caching); output is identical cache-hot and cache-cold.
     """
     phases = EXPERIMENTS[name]
+    from .cache import resolve_cache
     from .parallel import fork_available, resolve_jobs
 
+    cache = resolve_cache(cache)
     if resolve_jobs(jobs) > 1 and len(module.functions) > 1 \
             and fork_available():
         from .parallel import run_phases_parallel
 
         return run_phases_parallel(module, name, phases, options, target,
-                                   verify, validate, tracer, jobs=jobs)
+                                   verify, validate, tracer, jobs=jobs,
+                                   cache=cache)
     return run_phases(module, name, phases, options, target, verify,
-                      validate, tracer)
+                      validate, tracer, cache=cache)
 
 
 def _snapshot(module: Module) -> dict[str, dict[str, int]]:
@@ -261,18 +275,113 @@ def _phase_entry(phase: str, span, before: dict, after: dict) -> dict:
     }
 
 
+def _phase_runner(phase: str, options: PhaseOptions, target: Target,
+                  tracer, manager: AnalysisManager):
+    """The per-function callable implementing *phase* (returns that
+    function's pass statistics; ``ssa`` returns ``None``)."""
+    if phase == "ssa":
+        return lambda f: ensure_ssa(f)
+    if phase == "copyprop":
+        return lambda f: optimize_ssa(f)
+    if phase == "pinningSP":
+        return lambda f: pinning_sp(f, target)
+    if phase == "pinningABI":
+        return lambda f: pinning_abi(f, target, analyses=manager)
+    if phase == "sreedhar":
+        return lambda f: sreedhar_to_cssa(f, tracer=tracer,
+                                          analyses=manager)
+    if phase == "pinningPhi":
+        return lambda f: coalesce_phis(
+            f, mode=options.mode,
+            depth_ordered=options.depth_ordered,
+            literal_weight_update=options.literal_weight_update,
+            traversal=options.traversal,
+            weight_ordered=options.weight_ordered,
+            phys_affinity=options.phys_affinity,
+            tracer=tracer, analyses=manager)
+    if phase == "out-of-pinned-ssa":
+        return lambda f: out_of_pinned_ssa(f, analyses=manager)
+    if phase == "naiveABI":
+        return lambda f: naive_abi(f, target)
+    if phase == "coalescing":
+        return lambda f: aggressive_coalesce(f, tracer=tracer,
+                                             analyses=manager)
+    raise ValueError(f"unknown phase {phase!r}")
+
+
+_EMPTY_MEASURES = {"instructions": 0, "moves": 0, "phis": 0}
+
+
+def _merge_cached(module: Module, work: Module, cached: dict,
+                  result: ExperimentResult, tracer) -> Module:
+    """Fold cache-hit payloads back into the run's outputs.
+
+    Rebuilds the module in the *input module's* function order (the
+    same determinism contract as the parallel merge), splices each
+    payload's per-phase pass statistics and IR measures into
+    ``phase_stats`` / ``phase_breakdown`` at their stable positions,
+    and replays the stored decision counters onto the tracer.
+    """
+    merged = Module(module.name)
+    for fn_name in module.functions:
+        if fn_name in cached:
+            merged.add_function(cached[fn_name]["function"])
+        elif fn_name in work.functions:
+            merged.add_function(work.functions[fn_name])
+    merged.externals = dict(module.externals)
+
+    order = {fn_name: i for i, fn_name in enumerate(module.functions)}
+    for payload in cached.values():
+        for phase in payload["phase_stats"]:
+            result.phase_stats.setdefault(phase, {})
+    result.phase_stats = {
+        phase: dict(sorted(
+            {**stats, **{fn_name: payload["phase_stats"][phase]
+                         for fn_name, payload in cached.items()
+                         if phase in payload["phase_stats"]}}.items(),
+            key=lambda item: order[item[0]]))
+        for phase, stats in result.phase_stats.items()}
+
+    if tracer.enabled:
+        for payload in cached.values():
+            for counter, value in payload["counters"].items():
+                tracer.counters[counter] = \
+                    tracer.counters.get(counter, 0) + value
+        for i, entry in enumerate(result.phase_breakdown):
+            functions = dict(entry["functions"])
+            for fn_name, payload in cached.items():
+                measures = payload["breakdown"][i]
+                b, a = measures["before"], measures["after"]
+                functions[fn_name] = {
+                    "before": dict(b), "after": dict(a),
+                    "delta": {key: a[key] - b[key] for key in a}}
+            entry["functions"] = dict(sorted(
+                functions.items(), key=lambda item: order[item[0]]))
+            totals = {key: sum(per_fn["delta"][key]
+                               for per_fn in functions.values())
+                      for key in _EMPTY_MEASURES}
+            moves_delta = totals["moves"]
+            entry["delta"] = {**totals,
+                              "copies_inserted": max(moves_delta, 0),
+                              "copies_removed": max(-moves_delta, 0)}
+    return merged
+
+
 def run_phases(module: Module, name: str, phases: Iterable[str],
                options: Optional[PhaseOptions] = None,
                target: Target = ST120,
                verify: Optional[Sequence[tuple[str, Sequence[int]]]] = None,
                validate: bool = True,
-               tracer=None) -> ExperimentResult:
+               tracer=None,
+               cache=None) -> ExperimentResult:
     tracer = resolve_tracer(tracer)
     options = options or PhaseOptions()
+    phases = tuple(phases)
     work = module.copy()
     result = ExperimentResult(name=name, module=work, tracer=tracer)
     references = {}
     manager = AnalysisManager(tracer)
+    cache_mark = cache.stats() if cache is not None else None
     with tracer.span(f"experiment:{name}", experiment=name):
         if verify:
             with tracer.span("verify:before"):
@@ -280,6 +389,29 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
                     references[(fn_name, tuple(args))] = \
                         run_module(module, fn_name, args,
                                    tracer=tracer).observable()
+
+        # Cache probe: hit functions leave the working module entirely
+        # (their stored results are merged back after the phase loop);
+        # only misses flow through the phases below.
+        cached: dict[str, dict] = {}
+        miss_keys: dict[str, str] = {}
+        if cache is not None:
+            with tracer.span("cache:probe",
+                             functions=len(work.functions)):
+                for function in list(work.iter_functions()):
+                    key = cache.key(function, phases, options, target)
+                    payload = cache.probe(key)
+                    if payload is None:
+                        miss_keys[function.name] = key
+                    else:
+                        cached[function.name] = payload
+                        del work.functions[function.name]
+        #: miss function -> per-phase IR measures and counter deltas,
+        #: captured so the stored entry can replay them on later hits.
+        records: dict[str, dict] = {
+            fn_name: {"counters": {}, "breakdown": []}
+            for fn_name in miss_keys}
+        recording = bool(records)
 
         in_ssa = False
         #: function -> (epoch, cfg_epoch, in_ssa) at its last clean
@@ -289,50 +421,42 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
         #: are resources, not IR -- so the check is skipped.
         validated: dict[Function, tuple[int, int, bool]] = {}
         for phase in phases:
-            before = _snapshot(work) if tracer.enabled else None
+            runner = _phase_runner(phase, options, target, tracer, manager)
+            before = _snapshot(work) if tracer.enabled or recording \
+                else None
             with tracer.span(f"phase:{phase}", phase=phase) as span:
-                stats = None
-                if phase == "ssa":
-                    for function in work.iter_functions():
-                        ensure_ssa(function)
-                    in_ssa = True
-                elif phase == "copyprop":
-                    stats = {f.name: optimize_ssa(f)
-                             for f in work.iter_functions()}
-                elif phase == "pinningSP":
-                    stats = {f.name: pinning_sp(f, target)
-                             for f in work.iter_functions()}
-                elif phase == "pinningABI":
-                    stats = {f.name: pinning_abi(f, target,
-                                                 analyses=manager)
-                             for f in work.iter_functions()}
-                elif phase == "sreedhar":
-                    stats = {f.name: sreedhar_to_cssa(f, tracer=tracer,
-                                                      analyses=manager)
-                             for f in work.iter_functions()}
-                elif phase == "pinningPhi":
-                    stats = {f.name: coalesce_phis(
-                        f, mode=options.mode,
-                        depth_ordered=options.depth_ordered,
-                        literal_weight_update=options.literal_weight_update,
-                        traversal=options.traversal,
-                        weight_ordered=options.weight_ordered,
-                        phys_affinity=options.phys_affinity,
-                        tracer=tracer, analyses=manager)
-                        for f in work.iter_functions()}
-                elif phase == "out-of-pinned-ssa":
-                    stats = {f.name: out_of_pinned_ssa(f, analyses=manager)
-                             for f in work.iter_functions()}
-                    in_ssa = False
-                elif phase == "naiveABI":
-                    stats = {f.name: naive_abi(f, target)
-                             for f in work.iter_functions()}
-                elif phase == "coalescing":
-                    stats = {f.name: aggressive_coalesce(f, tracer=tracer,
-                                                         analyses=manager)
-                             for f in work.iter_functions()}
-                else:
-                    raise ValueError(f"unknown phase {phase!r}")
+                stats = None if phase == "ssa" else {}
+                capture = tracer.enabled and recording
+                for function in work.iter_functions():
+                    base = dict(tracer.counters) if capture else None
+                    value = runner(function)
+                    if stats is not None:
+                        stats[function.name] = value
+                    if base is not None:
+                        deltas = records[function.name]["counters"]
+                        for counter, total in tracer.counters.items():
+                            # Pass *decision* counters replay exactly on
+                            # a later hit; ``analysis.*`` traffic belongs
+                            # to whichever run actually executed (a warm
+                            # run has its own) and is never replayed.
+                            if counter.startswith("analysis."):
+                                continue
+                            delta = total - base.get(counter, 0)
+                            if delta:
+                                deltas[counter] = \
+                                    deltas.get(counter, 0) + delta
+            if phase == "ssa":
+                in_ssa = True
+            elif phase == "out-of-pinned-ssa":
+                in_ssa = False
+            after = _snapshot(work) if tracer.enabled or recording \
+                else None
+            if recording:
+                for fn_name, record in records.items():
+                    record["breakdown"].append(
+                        {"phase": phase,
+                         "before": before.get(fn_name, _EMPTY_MEASURES),
+                         "after": after.get(fn_name, _EMPTY_MEASURES)})
             for function in work.iter_functions():
                 manager.invalidate(function,
                                    preserves=PHASE_PRESERVES[phase])
@@ -340,7 +464,7 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
                 result.phase_stats[phase] = stats
             if tracer.enabled:
                 result.phase_breakdown.append(
-                    _phase_entry(phase, span, before, _snapshot(work)))
+                    _phase_entry(phase, span, before, after))
             if validate:
                 with tracer.span(f"validate:{phase}"):
                     for function in work.iter_functions():
@@ -350,6 +474,25 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
                         validate_function(function, ssa=in_ssa,
                                           allow_phis=in_ssa)
                         validated[function] = stamp
+
+        if cache is not None and miss_keys:
+            with tracer.span("cache:store", functions=len(miss_keys)):
+                for fn_name, key in miss_keys.items():
+                    function = work.functions.get(fn_name)
+                    if function is None:
+                        continue  # removed by a pass: nothing to replay
+                    cache.store(key, {
+                        "function": function,
+                        "phase_stats": {
+                            phase: stats[fn_name]
+                            for phase, stats in result.phase_stats.items()
+                            if fn_name in stats},
+                        "counters": records[fn_name]["counters"],
+                        "breakdown": records[fn_name]["breakdown"],
+                    })
+        if cached:
+            work = _merge_cached(module, work, cached, result, tracer)
+            result.module = work
 
         if references:
             with tracer.span("verify:after"):
@@ -366,11 +509,13 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
         result.weighted = weighted_moves(work, analyses=manager)
         result.instructions = count_instructions(work)
         result.analysis_cache = manager.stats()
+        if cache is not None:
+            result.cache = cache.stats_since(cache_mark)
     return result
 
 
 def _run_labelled(module: Module, specs, verify, validate, tracer,
-                  jobs) -> list[ExperimentResult]:
+                  jobs, cache=None) -> list[ExperimentResult]:
     """Run ``(label, experiment, options)`` *specs*, serially or -- when
     ``jobs`` allows -- one whole experiment per pool worker.
 
@@ -379,12 +524,14 @@ def _run_labelled(module: Module, specs, verify, validate, tracer,
     fresh tracer per run, which is what per-run stats documents want).
     The parallel path always gives each run its own tracer.
     """
+    from .cache import resolve_cache
     from .parallel import run_experiments_parallel
 
+    cache = resolve_cache(cache)
     results = run_experiments_parallel(module, specs, verify=verify,
                                        validate=validate,
                                        traced=tracer is not None,
-                                       jobs=jobs)
+                                       jobs=jobs, cache=cache)
     if results is not None:
         return results
     results = []
@@ -392,7 +539,7 @@ def _run_labelled(module: Module, specs, verify, validate, tracer,
         run_tracer = tracer() if callable(tracer) else tracer
         result = run_experiment(module, name, options=options,
                                 verify=verify, validate=validate,
-                                tracer=run_tracer, jobs=1)
+                                tracer=run_tracer, jobs=1, cache=cache)
         result.name = label
         results.append(result)
     return results
@@ -403,16 +550,18 @@ def run_table(module: Module, table: str,
               options: Optional[PhaseOptions] = None,
               validate: bool = True,
               tracer=None,
-              jobs: Optional[int] = None) -> list[ExperimentResult]:
+              jobs: Optional[int] = None,
+              cache=None) -> list[ExperimentResult]:
     """Run all experiments of one paper table on *module*.
 
-    ``options``/``validate``/``tracer`` are forwarded to every
-    :func:`run_experiment`; ``tracer`` may be a factory (e.g. the
+    ``options``/``validate``/``tracer``/``cache`` are forwarded to
+    every :func:`run_experiment`; ``tracer`` may be a factory (e.g. the
     ``Tracer`` class) to give each run its own recording tracer.
     ``jobs > 1`` shards whole experiments across a worker pool.
     """
     specs = [(name, name, options) for name in TABLE_EXPERIMENTS[table]]
-    return _run_labelled(module, specs, verify, validate, tracer, jobs)
+    return _run_labelled(module, specs, verify, validate, tracer, jobs,
+                         cache=cache)
 
 
 def run_experiments(module: Module,
@@ -422,11 +571,13 @@ def run_experiments(module: Module,
                     options: Optional[PhaseOptions] = None,
                     validate: bool = True,
                     tracer=None,
-                    jobs: Optional[int] = None) -> list[ExperimentResult]:
+                    jobs: Optional[int] = None,
+                    cache=None) -> list[ExperimentResult]:
     """Run several experiments (default: the whole Table 1 matrix) on
     *module*, optionally sharding them across a worker pool."""
     specs = [(name, name, options) for name in (names or EXPERIMENTS)]
-    return _run_labelled(module, specs, verify, validate, tracer, jobs)
+    return _run_labelled(module, specs, verify, validate, tracer, jobs,
+                         cache=cache)
 
 
 def table5_variants() -> dict[str, PhaseOptions]:
@@ -443,9 +594,11 @@ def run_table5(module: Module,
                verify: Optional[Sequence[tuple[str, Sequence[int]]]] = None,
                validate: bool = True,
                tracer=None,
-               jobs: Optional[int] = None) -> list[ExperimentResult]:
+               jobs: Optional[int] = None,
+               cache=None) -> list[ExperimentResult]:
     """Table 5: weighted move counts of the coalescer variants, using
     the full constrained pipeline (``Lφ,ABI+C``)."""
     specs = [(label, "Lphi,ABI+C", options)
              for label, options in table5_variants().items()]
-    return _run_labelled(module, specs, verify, validate, tracer, jobs)
+    return _run_labelled(module, specs, verify, validate, tracer, jobs,
+                         cache=cache)

@@ -140,6 +140,53 @@ class TestCompileObservability:
         assert [p.name for p in tmp_path.iterdir()] == ["prog.lai"]
 
 
+class TestCompileCache:
+    def test_cache_dir_round_trip(self, lai_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["compile", lai_file, "--cache-dir", cache]) == 0
+        cold = capsys.readouterr()
+        assert main(["compile", lai_file, "--cache-dir", cache]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # byte-identical cache-hot
+        assert warm.err == cold.err
+
+    def test_cache_block_in_stats(self, lai_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        stats = str(tmp_path / "s.json")
+        assert main(["compile", lai_file, "--cache-dir", cache,
+                     "--stats-json", stats]) == 0
+        doc = validate_stats_file(stats)
+        assert doc["cache"]["misses"] == 1
+        assert doc["cache"]["stores"] == 1
+        assert main(["compile", lai_file, "--cache-dir", cache,
+                     "--stats-json", stats]) == 0
+        doc = validate_stats_file(stats)
+        assert doc["cache"]["hits"] == 1
+        assert doc["cache"]["misses"] == 0
+
+    def test_no_cache_no_block(self, lai_file, tmp_path, capsys,
+                               monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        stats = str(tmp_path / "s.json")
+        assert main(["compile", lai_file, "--stats-json", stats]) == 0
+        doc = validate_stats_file(stats)
+        assert "cache" not in doc
+
+    def test_experiments_accepts_cache_dir(self, lai_file, tmp_path,
+                                           capsys):
+        def summary_table(text):
+            # Everything before the per-phase breakdowns, whose time(ms)
+            # column is legitimately non-deterministic.
+            return text.split("\n\n")[0]
+
+        cache = str(tmp_path / "cache")
+        assert main(["experiments", lai_file, "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(["experiments", lai_file, "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert summary_table(second) == summary_table(first)
+
+
 class TestExperimentsObservability:
     def test_format_json_stdout(self, lai_file, capsys):
         assert main(["experiments", lai_file, "--format", "json"]) == 0

@@ -337,6 +337,41 @@ class TestStatsDocument:
             validate_stats({"schema": "repro.stats-collection/v1",
                             "runs": runs + [{"schema": "nope"}]})
 
+    def test_cache_block_validates(self, tmp_path):
+        module = module_of(LOOPY)
+        result = run_experiment(module, "C", tracer=Tracer(),
+                                cache=str(tmp_path / "cache"))
+        doc = result.to_stats()
+        assert doc["schema"] == "repro.stats/v1.4"
+        validate_stats(doc)
+        for key in ("hits", "misses", "stores", "evictions", "bytes"):
+            assert isinstance(doc["cache"][key], int)
+        for mutate in (
+                lambda d: d["cache"].pop("misses"),
+                lambda d: d["cache"].__setitem__("hits", "3"),
+                lambda d: d.__setitem__("cache", [1, 2]),
+        ):
+            bad = json.loads(json.dumps(doc))
+            mutate(bad)
+            with pytest.raises(SchemaError):
+                validate_stats(bad)
+
+    def test_older_schemas_stay_accepted(self):
+        module = module_of(LOOPY)
+        doc = run_experiment(module, "C", tracer=Tracer()).to_stats()
+        for old in ("repro.stats/v1", "repro.stats/v1.1",
+                    "repro.stats/v1.2", "repro.stats/v1.3"):
+            relabelled = json.loads(json.dumps(doc))
+            relabelled["schema"] = old
+            if old in ("repro.stats/v1", "repro.stats/v1.1",
+                       "repro.stats/v1.2"):
+                # pre-v1.3 documents lack the oracle counters
+                relabelled.get("analysis_cache", {}).pop(
+                    "oracle_hits", None)
+                relabelled.get("analysis_cache", {}).pop(
+                    "oracle_misses", None)
+            validate_stats(relabelled)
+
 
 class TestCoalescerDecisionEvents:
     """Acceptance: coalesce_phis decision events/counters agree with the
