@@ -9,75 +9,28 @@ The parallel engine (``--jobs``) promises that every *non-timing*
 field of a ``repro.stats`` document is identical at any job count.
 This script enforces that promise in CI: it loads two documents (or
 ``repro.stats-collection`` files), strips the documented
-non-deterministic fields -- the ``parallel`` and persistent-``cache``
-blocks and per-phase ``seq``/``start_ns``/``duration_ns`` -- and
-reports the first path at which the remainders differ.  The same
-stripping makes it the tool for diffing a cache-hot against a
-cache-cold run (see docs/caching.md).  Exit status 0 means equal, 1 means a
-real divergence, 2 means usage/IO error.
+non-deterministic fields and reports the first path at which the
+remainders differ.  The same stripping makes it the tool for diffing
+a cache-hot against a cache-cold run (see docs/caching.md).
+
+The stripping rules themselves live in
+:mod:`repro.observability.statdiff` -- one implementation shared with
+the run ledger's ``stats_digest`` and ``repro perf diff``, so what
+this gate compares and what the ledger fingerprints can never drift
+apart.  Exit status 0 means equal, 1 means a real divergence, 2 means
+usage/IO error.
 """
 
 import json
+import os
 import sys
 
-TIMING_KEYS = ("seq", "start_ns", "duration_ns")
+# CI runs this script directly (no PYTHONPATH); make src/ importable
+# the same way benchmarks/conftest.py does.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-
-def strip_timing(document):
-    """Return *document* minus the documented non-deterministic fields."""
-    if isinstance(document, dict) and "runs" in document:
-        return {**document,
-                "runs": [strip_timing(run) for run in document["runs"]]}
-    document = dict(document)
-    document.pop("parallel", None)
-    # The persistent-cache block describes the run's *environment*
-    # (how warm the store happened to be), not its output.  The same
-    # goes for instrumentation volume: a cache-hot run performs less
-    # analysis work and emits fewer decision events, so the
-    # ``analysis_cache`` block, the ``events`` count and the
-    # ``analysis.*`` counters vary with cache temperature while every
-    # paper metric and decision counter must not.
-    document.pop("cache", None)
-    document.pop("analysis_cache", None)
-    document.pop("events", None)
-    if "counters" in document:
-        document["counters"] = {
-            name: value for name, value in document["counters"].items()
-            if not name.startswith("analysis.")}
-    phases = []
-    for entry in document.get("phases", ()):
-        entry = {k: v for k, v in entry.items() if k not in TIMING_KEYS}
-        phases.append(entry)
-    if "phases" in document:
-        document["phases"] = phases
-    return document
-
-
-def first_difference(left, right, path="$"):
-    """The path + values of the first mismatch, or ``None`` if equal."""
-    if type(left) is not type(right):
-        return (path, left, right)
-    if isinstance(left, dict):
-        for key in sorted(set(left) | set(right)):
-            if key not in left or key not in right:
-                return (f"{path}.{key}",
-                        left.get(key, "<missing>"),
-                        right.get(key, "<missing>"))
-            found = first_difference(left[key], right[key], f"{path}.{key}")
-            if found:
-                return found
-        return None
-    if isinstance(left, list):
-        if len(left) != len(right):
-            return (path, f"list of {len(left)}", f"list of {len(right)}")
-        for index, (a, b) in enumerate(zip(left, right)):
-            found = first_difference(a, b, f"{path}[{index}]")
-            if found:
-                return found
-        return None
-    if left != right:
-        return (path, left, right)
-    return None
+from repro.observability.statdiff import (  # noqa: E402
+    first_difference, strip_timing)
 
 
 def main(argv):

@@ -1,23 +1,38 @@
-"""Fold a pytest-benchmark JSON run into BENCH_compile_time.json.
+"""Fold a benchmark run into BENCH_compile_time.json.
 
-Used by the CI ``bench-smoke`` job: reads the ``test_time_ours``
-measurements from a ``--benchmark-json`` file, rewrites the ``new_s``
-and ``speedup`` fields of the committed summary (keeping the committed
-``baseline_s`` reference numbers), and fails loudly when a suite
-regressed below the committed baseline -- a cheap smoke guard, not a
-calibrated benchmark (CI runners are noisy; the committed numbers come
-from interleaved same-machine runs, see the ``method`` field).
+Used by the CI ``bench-smoke`` job: reads per-suite compile-time
+minima, rewrites the ``new_s`` and ``speedup`` fields of the committed
+summary (keeping the committed ``baseline_s`` reference numbers),
+prints a one-line markdown trajectory row, and fails loudly when a
+suite regressed below the committed baseline -- a cheap smoke guard,
+not a calibrated benchmark (CI runners are noisy; the committed
+numbers come from interleaved same-machine runs, see the ``method``
+field).
+
+Measurements come from the ``test_time_ours`` entries of a
+pytest-benchmark ``--benchmark-json`` file, and -- when a run ledger
+is given (``--ledger FILE``) -- additionally from the min recorded
+``wall_s`` per suite for the full pipeline, the same noise-robust
+statistic ``repro perf diff`` compares. With both sources the
+per-suite minimum across them is used: min-of-mins only tightens the
+estimate, so adding the ledger never makes the gate stricter.
 
 Usage::
 
     python benchmarks/summarize_compile_time.py <pytest-bench.json> \
-        [BENCH_compile_time.json]
+        [BENCH_compile_time.json] [--ledger runs.jsonl]
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+#: The experiment whose ledger records measure "the full pipeline".
+FULL_PIPELINE = "Lphi,ABI+C"
 
 
 def extract_ours(bench_doc: dict) -> dict[str, float]:
@@ -32,16 +47,64 @@ def extract_ours(bench_doc: dict) -> dict[str, float]:
     return out
 
 
+def extract_ledger(path: str) -> dict[str, float]:
+    """``suite name -> min recorded wall_s`` for the full pipeline."""
+    from repro.observability.ledger import RunLedger, best_times
+
+    best = best_times(RunLedger(path).entries())
+    out: dict[str, float] = {}
+    for (suite, experiment, _), record in best.items():
+        if experiment != FULL_PIPELINE or not suite:
+            continue
+        wall = record["timing"]["wall_s"]
+        if suite not in out or wall < out[suite]:
+            out[suite] = wall
+    return out
+
+
+def trajectory_row(summary: dict, source: str) -> str:
+    """One markdown table row summarizing the run -- appendable to a
+    tracking issue or job summary."""
+    cells = " · ".join(
+        f"{suite} {row['new_s']}s ({row['speedup']}x)"
+        for suite, row in summary["suites"].items())
+    return f"| {source} | {cells} |"
+
+
 def main(argv: list[str]) -> int:
-    if not 2 <= len(argv) <= 3:
+    args = list(argv[1:])
+    ledger_path = None
+    if "--ledger" in args:
+        at = args.index("--ledger")
+        try:
+            ledger_path = args[at + 1]
+        except IndexError:
+            print("error: --ledger needs a file argument", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+    if not 1 <= len(args) <= 2:
         print(__doc__)
         return 2
-    bench_path = argv[1]
-    summary_path = argv[2] if len(argv) == 3 else "BENCH_compile_time.json"
-    with open(bench_path) as handle:
-        measured = extract_ours(json.load(handle))
+    bench_path = args[0]
+    summary_path = args[1] if len(args) == 2 else "BENCH_compile_time.json"
+
+    measured: dict[str, float] = {}
+    sources = []
+    if os.path.exists(bench_path):
+        with open(bench_path) as handle:
+            measured = extract_ours(json.load(handle))
+        if measured:
+            sources.append(bench_path)
+    if ledger_path and os.path.exists(ledger_path):
+        from_ledger = extract_ledger(ledger_path)
+        if from_ledger:
+            sources.append(ledger_path)
+        for suite, wall in from_ledger.items():
+            if suite not in measured or wall < measured[suite]:
+                measured[suite] = wall
+    source = " + ".join(sources) or bench_path
     if not measured:
-        print(f"{bench_path}: no test_time_ours entries found")
+        print(f"{source}: no compile-time measurements found")
         return 1
     with open(summary_path) as handle:
         summary = json.load(handle)
@@ -59,6 +122,7 @@ def main(argv: list[str]) -> int:
     for suite, row in summary["suites"].items():
         print(f"{suite}: {row['new_s']}s vs baseline "
               f"{row['baseline_s']}s ({row['speedup']}x)")
+    print(trajectory_row(summary, source))
     if regressions:
         print(f"slower than the committed baseline on: "
               f"{', '.join(regressions)}")

@@ -10,25 +10,48 @@ Public surface:
   :func:`phase_table` and :func:`pass_profile` /
   :func:`pass_self_times` (human-readable), :func:`jsonable`;
 * schema -- :func:`validate_stats` and the ``repro.stats/v1`` document
-  contract (see :mod:`.schema` and ``docs/observability.md``).
+  contract (see :mod:`.schema` and ``docs/observability.md``);
+* metrics -- :class:`MetricsRegistry` / :data:`NULL_METRICS`, the
+  counter/gauge/latency-histogram registry with deterministic
+  snapshots, cross-worker merge and Prometheus text exposition (see
+  :mod:`.metrics`);
+* ledger -- :class:`RunLedger` / :func:`resolve_ledger`, the
+  append-only JSONL run ledger behind ``repro perf`` (see
+  :mod:`.ledger`);
+* statdiff -- :func:`strip_timing` / :func:`stats_digest`, the shared
+  timing-stripping rules (see :mod:`.statdiff`).
 
 Every instrumented entry point (``run_phases``, ``coalesce_phis``,
 ``sreedhar_to_cssa``, ``aggressive_coalesce``, the interpreter) takes an
-optional ``tracer`` keyword defaulting to ``None`` == :data:`NULL_TRACER`.
+optional ``tracer`` keyword defaulting to ``None`` == :data:`NULL_TRACER`;
+``run_phases``/``run_experiment`` additionally take an optional
+``metrics`` keyword defaulting to ``None`` == :data:`NULL_METRICS`.
 """
 
 from .exporters import (chrome_trace_events, chrome_trace_json, jsonable,
                         pass_profile, pass_self_times, phase_table,
                         summary, write_chrome_trace)
+from .ledger import (LEDGER_ENV, LEDGER_SCHEMA, RunLedger, make_record,
+                     resolve_ledger)
+from .metrics import (BUCKET_BOUNDS, NULL_METRICS, MetricsRegistry,
+                      NullMetrics, merge_snapshots, parse_prometheus_text,
+                      prometheus_text, resolve_metrics)
 from .schema import (COLLECTION_SCHEMA, DELTA_KEYS, SNAPSHOT_KEYS,
                      STATS_SCHEMA, SchemaError, validate_stats,
                      validate_stats_file)
+from .statdiff import first_difference, stats_digest, strip_timing
 from .tracer import (NULL_TRACER, EventRecord, NullTracer, SpanRecord,
                      Tracer, resolve)
 
 __all__ = [
     "NULL_TRACER", "NullTracer", "Tracer", "SpanRecord", "EventRecord",
     "resolve",
+    "NULL_METRICS", "NullMetrics", "MetricsRegistry", "BUCKET_BOUNDS",
+    "resolve_metrics", "merge_snapshots", "prometheus_text",
+    "parse_prometheus_text",
+    "RunLedger", "resolve_ledger", "make_record", "LEDGER_SCHEMA",
+    "LEDGER_ENV",
+    "strip_timing", "first_difference", "stats_digest",
     "chrome_trace_events", "chrome_trace_json", "write_chrome_trace",
     "summary", "phase_table", "pass_profile", "pass_self_times",
     "jsonable",

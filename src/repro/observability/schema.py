@@ -3,7 +3,7 @@
 Two document shapes are emitted by the CLI and the benchmark harness
 (see ``docs/observability.md`` for the field-by-field reference):
 
-``repro.stats/v1.4``
+``repro.stats/v1.5``
     One experiment run: totals, the per-phase breakdown (timing plus
     move/instruction/phi deltas per function), raw per-phase pass
     statistics, counters, the event count, the ``analysis_cache``
@@ -15,14 +15,19 @@ Two document shapes are emitted by the CLI and the benchmark harness
     :mod:`repro.analysis.dominterf`), the optional ``parallel``
     block (v1.2) describing the fork-pool execution (worker count,
     shard sizes, per-worker wall time, merge time; see
-    :mod:`repro.parallel`), and the optional ``cache`` block (v1.4)
+    :mod:`repro.parallel`), the optional ``cache`` block (v1.4)
     reporting persistent compilation-cache traffic
     (hits/misses/stores/evictions/bytes, from
     :class:`repro.cache.CompilationCache`; summed across workers in
-    parallel runs).  Produced by
+    parallel runs), and the optional ``metrics`` block (v1.5): a
+    :meth:`repro.observability.metrics.MetricsRegistry.snapshot` --
+    counters, gauges and fixed-log-bucket latency histograms (bucket
+    bounds + counts + sum/count + percentiles), merged element-wise
+    across workers in parallel runs.  Produced by
     :meth:`repro.pipeline.ExperimentResult.to_stats`.  ``repro.stats/v1``
-    through ``v1.3`` documents (no ``parallel`` / ``analysis_cache`` /
-    oracle counters / ``cache`` block) remain valid input.
+    through ``v1.4`` documents (no ``parallel`` / ``analysis_cache`` /
+    oracle counters / ``cache`` / ``metrics`` block) remain valid
+    input.
 
 ``repro.stats-collection/v1``
     ``{"schema": ..., "runs": [<stats doc>, ...]}`` -- many runs in one
@@ -43,7 +48,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-STATS_SCHEMA = "repro.stats/v1.4"
+STATS_SCHEMA = "repro.stats/v1.5"
 COLLECTION_SCHEMA = "repro.stats-collection/v1"
 
 #: Schemas consumers must accept: the current one plus every prior
@@ -51,10 +56,11 @@ COLLECTION_SCHEMA = "repro.stats-collection/v1"
 #: introduced in v1.1; v1.1 documents lack the ``parallel`` block
 #: introduced in v1.2; v1.2 documents lack the oracle counters
 #: introduced in v1.3; v1.3 documents lack the ``cache`` block
-#: introduced in v1.4).
+#: introduced in v1.4; v1.4 documents lack the ``metrics`` block
+#: introduced in v1.5).
 ACCEPTED_STATS_SCHEMAS = ("repro.stats/v1", "repro.stats/v1.1",
                           "repro.stats/v1.2", "repro.stats/v1.3",
-                          "repro.stats/v1.4")
+                          "repro.stats/v1.4", "repro.stats/v1.5")
 
 #: The integer fields of the optional ``analysis_cache`` block.
 ANALYSIS_CACHE_KEYS = ("hits", "misses", "invalidations", "preserved")
@@ -65,7 +71,8 @@ ORACLE_CACHE_KEYS = ("oracle_hits", "oracle_misses")
 
 #: Schemas whose ``analysis_cache`` block must carry the oracle
 #: counters (they became part of the block in v1.3).
-_ORACLE_SCHEMAS = frozenset({"repro.stats/v1.3", "repro.stats/v1.4"})
+_ORACLE_SCHEMAS = frozenset({"repro.stats/v1.3", "repro.stats/v1.4",
+                             "repro.stats/v1.5"})
 
 #: The required integer fields of the optional ``cache`` block (v1.4):
 #: persistent compilation-cache traffic (see :mod:`repro.cache`).
@@ -170,6 +177,62 @@ def validate_stats(doc: Any, where: str = "$") -> None:
     cache = doc.get("cache")
     if cache:  # optional; absent without a persistent cache (pre-v1.4)
         _validate_measures(cache, CACHE_BLOCK_KEYS, f"{where}.cache")
+    metrics = doc.get("metrics")
+    if metrics:  # optional; absent without a metrics registry (pre-v1.5)
+        _validate_metrics(metrics, f"{where}.metrics")
+
+
+def _expect_number(value: Any, where: str, what: str) -> None:
+    _expect(isinstance(value, (int, float))
+            and not isinstance(value, bool),
+            where, f"{what} must be a number, got {value!r}")
+
+
+def _validate_metrics(block: Any, where: str) -> None:
+    """The v1.5 ``metrics`` block: a
+    :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`."""
+    _expect(isinstance(block, dict), where, "must be an object")
+    counters = block.get("counters", {})
+    _expect(isinstance(counters, dict), where,
+            "'counters' must be an object")
+    for name, value in counters.items():
+        _expect(isinstance(value, int) and not isinstance(value, bool),
+                f"{where}.counters", f"{name!r} must map to an integer")
+    gauges = block.get("gauges", {})
+    _expect(isinstance(gauges, dict), where, "'gauges' must be an object")
+    for name, value in gauges.items():
+        _expect_number(value, f"{where}.gauges", repr(name))
+    histograms = block.get("histograms", {})
+    _expect(isinstance(histograms, dict), where,
+            "'histograms' must be an object")
+    for name, doc in histograms.items():
+        h_where = f"{where}.histograms[{name!r}]"
+        _expect(isinstance(doc, dict), h_where, "must be an object")
+        buckets = doc.get("buckets")
+        counts = doc.get("counts")
+        _expect(isinstance(buckets, list), h_where,
+                "'buckets' must be a list of bounds")
+        _expect(isinstance(counts, list), h_where,
+                "'counts' must be a list")
+        _expect(len(counts) == len(buckets) + 1, h_where,
+                f"'counts' must have len(buckets)+1 slots (the +Inf "
+                f"overflow), got {len(counts)} for {len(buckets)} buckets")
+        for bound in buckets:
+            _expect_number(bound, h_where, "every bucket bound")
+        for count in counts:
+            _expect(isinstance(count, int) and not isinstance(count, bool)
+                    and count >= 0,
+                    h_where, "every bucket count must be a non-negative "
+                             "integer")
+        _expect_number(doc.get("sum"), h_where, "'sum'")
+        _expect_int(doc, "count", h_where)
+        _expect(doc["count"] == sum(counts), h_where,
+                "'count' must equal the bucket-count total")
+        percentiles = doc.get("percentiles", {})
+        _expect(isinstance(percentiles, dict), h_where,
+                "'percentiles' must be an object")
+        for pct, value in percentiles.items():
+            _expect_number(value, f"{h_where}.percentiles", repr(pct))
 
 
 def _validate_parallel(block: Any, where: str) -> None:

@@ -16,8 +16,9 @@ may depend on worker arrival order --
   shard order;
 * ``phase_stats`` and every ``phases[]`` breakdown entry re-sequence
   their per-function payloads by a stable ``(phase, function)`` order;
-* tracer counters, event counts and ``analysis_cache`` totals are
-  summed per key (summation is order-free);
+* tracer counters, event counts, ``analysis_cache`` totals and metric
+  snapshots (counters and histogram buckets add, gauges take the max)
+  are summed per key (summation is order-free);
 * worker span/event records are grafted into the parent tracer in
   shard-index order with renumbered ``seq``/rebased timestamps, so a
   ``--trace`` of a parallel run is one coherent Chrome trace.
@@ -116,31 +117,37 @@ _WORKER_STATE = None
 def _shard_task(spec):
     """Run the phase pipeline on one function shard (worker process)."""
     from . import pipeline as _pipeline
+    from .observability.metrics import MetricsRegistry
 
     index, names = spec
-    module, name, phases, options, target, validate, traced, cache = \
-        _WORKER_STATE
+    (module, name, phases, options, target, validate, traced, cache,
+     metriced) = _WORKER_STATE
     shard = Module(module.name)
     for fn_name in names:
         shard.add_function(module.functions[fn_name])  # run_phases copies
     tracer = Tracer() if traced else None
+    metrics = MetricsRegistry() if metriced else None
     start = time.perf_counter_ns()
     result = _pipeline.run_phases(shard, name, phases, options, target,
-                                  None, validate, tracer, cache=cache)
+                                  None, validate, tracer, cache=cache,
+                                  metrics=metrics)
     return index, _result_payload(result, time.perf_counter_ns() - start)
 
 
 def _experiment_task(spec):
     """Run one whole experiment serially (worker process)."""
     from . import pipeline as _pipeline
+    from .observability.metrics import MetricsRegistry
 
     index, label, name, options = spec
-    module, verify, validate, traced, target, cache = _WORKER_STATE
+    module, verify, validate, traced, target, cache, metriced = \
+        _WORKER_STATE
     tracer = Tracer() if traced else None
+    metrics = MetricsRegistry() if metriced else None
     start = time.perf_counter_ns()
     result = _pipeline.run_phases(module, name, _pipeline.EXPERIMENTS[name],
                                   options, target, verify, validate, tracer,
-                                  cache=cache)
+                                  cache=cache, metrics=metrics)
     payload = _result_payload(result, time.perf_counter_ns() - start)
     return index, label, payload
 
@@ -159,6 +166,7 @@ def _result_payload(result, wall_ns: int) -> dict:
         "phase_breakdown": result.phase_breakdown,
         "analysis_cache": result.analysis_cache,
         "cache": result.cache,
+        "metrics": result.metrics or None,
         "tracer": _tracer_payload(tracer) if tracer.enabled else None,
         "wall_ns": wall_ns,
     }
@@ -309,35 +317,43 @@ def run_phases_parallel(module: Module, name: str, phases,
                         options=None, target: Target = ST120,
                         verify=None, validate: bool = True,
                         tracer=None, jobs: Optional[int] = None,
-                        cache=None):
+                        cache=None, metrics=None):
     """Parallel twin of :func:`repro.pipeline.run_phases`.
 
     Shards the module's functions across a fork pool, each worker
     running its own :class:`AnalysisManager`, and merges the results
     deterministically.  Semantic verification (``verify=``) runs in the
     parent against the input and the *merged* module, reproducing the
-    serial interpreter work exactly.  Falls back to the serial path
-    whenever parallelism is unavailable or a worker dies.
+    serial interpreter work exactly.  When a metrics registry is
+    passed, each worker records into a private registry and the parent
+    merges the snapshots element-wise (sums are order-free, so the
+    deterministic fields match the serial run at any job count).
+    Falls back to the serial path whenever parallelism is unavailable
+    or a worker dies.
     """
     from . import pipeline as _pipeline
     from .interp import run_module
+    from .observability.metrics import resolve_metrics
 
     tracer = resolve_tracer(tracer)
+    metrics = resolve_metrics(metrics)
     phases = tuple(phases)
     workers = min(resolve_jobs(jobs), len(module.functions))
     if workers <= 1 or len(module.functions) <= 1 or not fork_available():
         return _pipeline.run_phases(module, name, phases, options, target,
-                                    verify, validate, tracer, cache=cache)
+                                    verify, validate, tracer, cache=cache,
+                                    metrics=metrics)
 
     shards = partition_functions(module, workers)
     state = (module, name, phases, options, target, validate,
-             tracer.enabled, cache)
+             tracer.enabled, cache, metrics.enabled)
     pool_start = time.perf_counter_ns()
     outcomes = _run_pool(state, _shard_task, list(enumerate(shards)),
                          len(shards))
     if outcomes is None:  # a worker died: degrade, don't fail
         return _pipeline.run_phases(module, name, phases, options, target,
-                                    verify, validate, tracer, cache=cache)
+                                    verify, validate, tracer, cache=cache,
+                                    metrics=metrics)
     pool_ns = time.perf_counter_ns() - pool_start
     payloads = [payload for _, payload in sorted(outcomes)]
 
@@ -366,6 +382,14 @@ def run_phases_parallel(module: Module, name: str, phases,
             result.phase_breakdown = _merge_phase_breakdown(payloads, order)
         result.analysis_cache = _merge_cache_stats(payloads)
         result.cache = _merge_store_stats(payloads)
+        if metrics.enabled:
+            for payload in payloads:  # shard-index order (commutative)
+                metrics.merge(payload["metrics"] or {})
+            # Each worker counted its shard as one pipeline invocation;
+            # collapse to the single logical run the caller asked for so
+            # counters stay identical at any job count.
+            metrics.counter("pipeline.runs").inc(1 - len(payloads))
+            result.metrics = metrics.snapshot()
         merge_ns = time.perf_counter_ns() - merge_start
 
         if references:
@@ -402,7 +426,7 @@ def run_experiments_parallel(module: Module, specs, verify=None,
                              validate: bool = True, traced: bool = False,
                              target: Target = ST120,
                              jobs: Optional[int] = None,
-                             cache=None):
+                             cache=None, metriced: bool = False):
     """Run ``(label, experiment, options)`` *specs* across a fork pool,
     one whole experiment per task (the outer-level sharding used by
     ``run_table``/``run_table5``/``repro experiments``).
@@ -416,7 +440,7 @@ def run_experiments_parallel(module: Module, specs, verify=None,
     workers = min(resolve_jobs(jobs), len(specs))
     if workers <= 1 or len(specs) <= 1 or not fork_available():
         return None
-    state = (module, verify, validate, traced, target, cache)
+    state = (module, verify, validate, traced, target, cache, metriced)
     pool_specs = [(i, label, name, options)
                   for i, (label, name, options) in enumerate(specs)]
     outcomes = _run_pool(state, _experiment_task, pool_specs, workers)
@@ -437,7 +461,8 @@ def run_experiments_parallel(module: Module, specs, verify=None,
             phase_breakdown=payload["phase_breakdown"],
             tracer=resolve_tracer(tracer),
             analysis_cache=payload["analysis_cache"],
-            cache=payload["cache"])
+            cache=payload["cache"],
+            metrics=payload["metrics"] or {})
         result.parallel = {
             "mode": "experiments",
             "jobs": workers,

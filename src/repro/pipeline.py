@@ -27,6 +27,7 @@ reference interpreter (``verify=...``).
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -41,6 +42,7 @@ from .metrics import (count_instructions, count_moves, count_phis,
                       weighted_moves)
 from .observability import NULL_TRACER, STATS_SCHEMA, jsonable
 from .observability import resolve as resolve_tracer
+from .observability.metrics import COUNT_BOUNDS, resolve_metrics
 from .outofssa.chaitin import aggressive_coalesce
 from .outofssa.leung_george import out_of_pinned_ssa
 from .outofssa.naive_abi import naive_abi
@@ -106,6 +108,12 @@ class ExperimentResult:
     #: :meth:`repro.cache.CompilationCache.stats_since`); empty when no
     #: cache was configured.
     cache: dict = field(default_factory=dict)
+    #: Metrics snapshot of this run
+    #: (:meth:`repro.observability.metrics.MetricsRegistry.snapshot`:
+    #: counters, gauges, latency histograms -- merged element-wise
+    #: across workers in parallel runs); empty without a metrics
+    #: registry.
+    metrics: dict = field(default_factory=dict)
 
     def row(self) -> tuple:
         return (self.name, self.moves, self.weighted)
@@ -129,6 +137,8 @@ class ExperimentResult:
             document["parallel"] = jsonable(self.parallel)
         if self.cache:
             document["cache"] = dict(self.cache)
+        if self.metrics:
+            document["metrics"] = self.metrics
         return document
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -201,7 +211,8 @@ def run_experiment(module: Module, name: str,
                    validate: bool = True,
                    tracer=None,
                    jobs: Optional[int] = None,
-                   cache=None) -> ExperimentResult:
+                   cache=None,
+                   metrics=None) -> ExperimentResult:
     """Run experiment *name* on a fresh copy of *module*.
 
     ``verify`` is an optional list of ``(function_name, args)`` pairs;
@@ -217,6 +228,11 @@ def run_experiment(module: Module, name: str,
     (:mod:`repro.cache`): a :class:`~repro.cache.CompilationCache`, a
     directory path, or ``None`` to consult ``$REPRO_CACHE`` (unset =
     no caching); output is identical cache-hot and cache-cold.
+    ``metrics`` (a :class:`~repro.observability.MetricsRegistry`,
+    ideally fresh per run) records latency histograms and traffic
+    counters into ``result.metrics``; ``None`` installs the
+    zero-overhead null registry.  Neither observability knob changes
+    a single output byte.
     """
     phases = EXPERIMENTS[name]
     from .cache import resolve_cache
@@ -229,9 +245,9 @@ def run_experiment(module: Module, name: str,
 
         return run_phases_parallel(module, name, phases, options, target,
                                    verify, validate, tracer, jobs=jobs,
-                                   cache=cache)
+                                   cache=cache, metrics=metrics)
     return run_phases(module, name, phases, options, target, verify,
-                      validate, tracer, cache=cache)
+                      validate, tracer, cache=cache, metrics=metrics)
 
 
 def _snapshot(module: Module) -> dict[str, dict[str, int]]:
@@ -373,8 +389,15 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
                verify: Optional[Sequence[tuple[str, Sequence[int]]]] = None,
                validate: bool = True,
                tracer=None,
-               cache=None) -> ExperimentResult:
+               cache=None,
+               metrics=None) -> ExperimentResult:
     tracer = resolve_tracer(tracer)
+    metrics = resolve_metrics(metrics)
+    # Hoisted once: the hot loops below guard *every* timing call and
+    # argument construction behind this bool, so the default (null
+    # registry) path performs no perf-counter reads and no allocations
+    # -- the same structural zero-overhead contract as the null tracer.
+    measuring = metrics.enabled
     options = options or PhaseOptions()
     phases = tuple(phases)
     work = module.copy()
@@ -398,14 +421,24 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
         if cache is not None:
             with tracer.span("cache:probe",
                              functions=len(work.functions)):
+                probe_timer = metrics.histogram("cache.probe_seconds") \
+                    if measuring else None
                 for function in list(work.iter_functions()):
                     key = cache.key(function, phases, options, target)
+                    if measuring:
+                        probe_start = time.perf_counter_ns()
                     payload = cache.probe(key)
+                    if measuring:
+                        probe_timer.observe(
+                            (time.perf_counter_ns() - probe_start) / 1e9)
                     if payload is None:
                         miss_keys[function.name] = key
                     else:
                         cached[function.name] = payload
                         del work.functions[function.name]
+                if measuring:
+                    metrics.counter("cache.hits").inc(len(cached))
+                    metrics.counter("cache.misses").inc(len(miss_keys))
         #: miss function -> per-phase IR measures and counter deltas,
         #: captured so the stored entry can replay them on later hits.
         records: dict[str, dict] = {
@@ -420,6 +453,9 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
         #: do) cannot have changed what the validator looks at -- pins
         #: are resources, not IR -- so the check is skipped.
         validated: dict[Function, tuple[int, int, bool]] = {}
+        #: function -> accumulated compile ns across all phases, fed
+        #: into the ``compile.function_seconds`` histogram at the end.
+        function_ns: dict[str, int] = {}
         for phase in phases:
             runner = _phase_runner(phase, options, target, tracer, manager)
             before = _snapshot(work) if tracer.enabled or recording \
@@ -427,9 +463,22 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
             with tracer.span(f"phase:{phase}", phase=phase) as span:
                 stats = None if phase == "ssa" else {}
                 capture = tracer.enabled and recording
+                # One observation per (phase, function): the histogram's
+                # count is worker-independent, its sum is the phase's
+                # self time.
+                phase_timer = metrics.histogram("phase.seconds",
+                                                phase=phase) \
+                    if measuring else None
                 for function in work.iter_functions():
                     base = dict(tracer.counters) if capture else None
+                    if measuring:
+                        fn_start = time.perf_counter_ns()
                     value = runner(function)
+                    if measuring:
+                        fn_ns = time.perf_counter_ns() - fn_start
+                        function_ns[function.name] = \
+                            function_ns.get(function.name, 0) + fn_ns
+                        phase_timer.observe(fn_ns / 1e9)
                     if stats is not None:
                         stats[function.name] = value
                     if base is not None:
@@ -477,10 +526,14 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
 
         if cache is not None and miss_keys:
             with tracer.span("cache:store", functions=len(miss_keys)):
+                store_timer = metrics.histogram("cache.store_seconds") \
+                    if measuring else None
                 for fn_name, key in miss_keys.items():
                     function = work.functions.get(fn_name)
                     if function is None:
                         continue  # removed by a pass: nothing to replay
+                    if measuring:
+                        store_start = time.perf_counter_ns()
                     cache.store(key, {
                         "function": function,
                         "phase_stats": {
@@ -490,6 +543,9 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
                         "counters": records[fn_name]["counters"],
                         "breakdown": records[fn_name]["breakdown"],
                     })
+                    if measuring:
+                        store_timer.observe(
+                            (time.perf_counter_ns() - store_start) / 1e9)
         if cached:
             work = _merge_cached(module, work, cached, result, tracer)
             result.module = work
@@ -511,18 +567,46 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
         result.analysis_cache = manager.stats()
         if cache is not None:
             result.cache = cache.stats_since(cache_mark)
+        if measuring:
+            function_timer = metrics.histogram("compile.function_seconds")
+            for fn_name in sorted(function_ns):
+                function_timer.observe(function_ns[fn_name] / 1e9)
+            metrics.counter("pipeline.runs").inc()
+            metrics.counter("pipeline.functions").inc(
+                len(module.functions))
+            analysis = result.analysis_cache
+            metrics.counter("analysis.hits").inc(analysis.get("hits", 0))
+            metrics.counter("analysis.misses").inc(
+                analysis.get("misses", 0))
+            metrics.counter("oracle.hits").inc(
+                analysis.get("oracle_hits", 0))
+            metrics.counter("oracle.misses").inc(
+                analysis.get("oracle_misses", 0))
+            # The oracle's per-run query batch: how many interference
+            # verdicts one pipeline run asked for (a size, not a
+            # latency -- hence the count ladder).
+            metrics.histogram("oracle.query_batch",
+                              bounds=COUNT_BOUNDS).observe(
+                float(analysis.get("oracle_hits", 0)
+                      + analysis.get("oracle_misses", 0)))
+            if result.cache:
+                metrics.gauge("cache.store_bytes").set(
+                    result.cache.get("bytes", 0))
+            result.metrics = metrics.snapshot()
     return result
 
 
 def _run_labelled(module: Module, specs, verify, validate, tracer,
-                  jobs, cache=None) -> list[ExperimentResult]:
+                  jobs, cache=None, metrics=None) -> list[ExperimentResult]:
     """Run ``(label, experiment, options)`` *specs*, serially or -- when
     ``jobs`` allows -- one whole experiment per pool worker.
 
     ``tracer`` may be a tracer instance (shared across all runs) or a
     zero-argument factory such as the :class:`Tracer` class itself (one
-    fresh tracer per run, which is what per-run stats documents want).
-    The parallel path always gives each run its own tracer.
+    fresh tracer per run, which is what per-run stats documents want);
+    ``metrics`` works the same way with
+    :class:`~repro.observability.MetricsRegistry`.  The parallel path
+    always gives each run its own tracer and registry.
     """
     from .cache import resolve_cache
     from .parallel import run_experiments_parallel
@@ -531,15 +615,18 @@ def _run_labelled(module: Module, specs, verify, validate, tracer,
     results = run_experiments_parallel(module, specs, verify=verify,
                                        validate=validate,
                                        traced=tracer is not None,
-                                       jobs=jobs, cache=cache)
+                                       jobs=jobs, cache=cache,
+                                       metriced=metrics is not None)
     if results is not None:
         return results
     results = []
     for label, name, options in specs:
         run_tracer = tracer() if callable(tracer) else tracer
+        run_metrics = metrics() if callable(metrics) else metrics
         result = run_experiment(module, name, options=options,
                                 verify=verify, validate=validate,
-                                tracer=run_tracer, jobs=1, cache=cache)
+                                tracer=run_tracer, jobs=1, cache=cache,
+                                metrics=run_metrics)
         result.name = label
         results.append(result)
     return results
@@ -551,17 +638,19 @@ def run_table(module: Module, table: str,
               validate: bool = True,
               tracer=None,
               jobs: Optional[int] = None,
-              cache=None) -> list[ExperimentResult]:
+              cache=None,
+              metrics=None) -> list[ExperimentResult]:
     """Run all experiments of one paper table on *module*.
 
-    ``options``/``validate``/``tracer``/``cache`` are forwarded to
-    every :func:`run_experiment`; ``tracer`` may be a factory (e.g. the
-    ``Tracer`` class) to give each run its own recording tracer.
+    ``options``/``validate``/``tracer``/``cache``/``metrics`` are
+    forwarded to every :func:`run_experiment`; ``tracer`` and
+    ``metrics`` may be factories (e.g. the ``Tracer`` /
+    ``MetricsRegistry`` classes) to give each run its own recorder.
     ``jobs > 1`` shards whole experiments across a worker pool.
     """
     specs = [(name, name, options) for name in TABLE_EXPERIMENTS[table]]
     return _run_labelled(module, specs, verify, validate, tracer, jobs,
-                         cache=cache)
+                         cache=cache, metrics=metrics)
 
 
 def run_experiments(module: Module,
@@ -572,12 +661,13 @@ def run_experiments(module: Module,
                     validate: bool = True,
                     tracer=None,
                     jobs: Optional[int] = None,
-                    cache=None) -> list[ExperimentResult]:
+                    cache=None,
+                    metrics=None) -> list[ExperimentResult]:
     """Run several experiments (default: the whole Table 1 matrix) on
     *module*, optionally sharding them across a worker pool."""
     specs = [(name, name, options) for name in (names or EXPERIMENTS)]
     return _run_labelled(module, specs, verify, validate, tracer, jobs,
-                         cache=cache)
+                         cache=cache, metrics=metrics)
 
 
 def table5_variants() -> dict[str, PhaseOptions]:
@@ -595,10 +685,11 @@ def run_table5(module: Module,
                validate: bool = True,
                tracer=None,
                jobs: Optional[int] = None,
-               cache=None) -> list[ExperimentResult]:
+               cache=None,
+               metrics=None) -> list[ExperimentResult]:
     """Table 5: weighted move counts of the coalescer variants, using
     the full constrained pipeline (``Lφ,ABI+C``)."""
     specs = [(label, "Lphi,ABI+C", options)
              for label, options in table5_variants().items()]
     return _run_labelled(module, specs, verify, validate, tracer, jobs,
-                         cache=cache)
+                         cache=cache, metrics=metrics)

@@ -135,6 +135,35 @@ class TestNullTracer:
         result = run_experiment(module, "Lphi,ABI+C", tracer=Tracer())
         assert result.phase_breakdown
 
+    def test_default_run_skips_metrics_entirely(self, monkeypatch):
+        """Structural zero-overhead for the registry: without one,
+        run_phases never reaches a histogram observe or a perf-counter
+        read on its behalf -- the hot loops guard every metrics call
+        behind ``metrics.enabled``."""
+        from repro.observability import metrics as metrics_mod
+
+        def boom(self, value):
+            raise AssertionError("Histogram.observe on the null path")
+
+        monkeypatch.setattr(metrics_mod.Histogram, "observe", boom)
+        monkeypatch.setattr(
+            metrics_mod.Counter, "inc",
+            lambda self, n=1: (_ for _ in ()).throw(
+                AssertionError("Counter.inc on the null path")))
+        module = module_of(LOOPY)
+        result = run_experiment(module, "Lphi,ABI+C")
+        assert result.metrics == {}
+        assert "metrics" not in result.to_stats()
+
+    def test_metered_run_snapshots(self):
+        from repro.observability import MetricsRegistry
+
+        module = module_of(LOOPY)
+        result = run_experiment(module, "Lphi,ABI+C",
+                                metrics=MetricsRegistry())
+        assert result.metrics["counters"]["pipeline.runs"] == 1
+        assert result.to_stats()["metrics"] is result.metrics
+
 
 class TestChromeExport:
     def _trace(self):
@@ -342,7 +371,7 @@ class TestStatsDocument:
         result = run_experiment(module, "C", tracer=Tracer(),
                                 cache=str(tmp_path / "cache"))
         doc = result.to_stats()
-        assert doc["schema"] == "repro.stats/v1.4"
+        assert doc["schema"] == "repro.stats/v1.5"
         validate_stats(doc)
         for key in ("hits", "misses", "stores", "evictions", "bytes"):
             assert isinstance(doc["cache"][key], int)
@@ -360,7 +389,8 @@ class TestStatsDocument:
         module = module_of(LOOPY)
         doc = run_experiment(module, "C", tracer=Tracer()).to_stats()
         for old in ("repro.stats/v1", "repro.stats/v1.1",
-                    "repro.stats/v1.2", "repro.stats/v1.3"):
+                    "repro.stats/v1.2", "repro.stats/v1.3",
+                    "repro.stats/v1.4"):
             relabelled = json.loads(json.dumps(doc))
             relabelled["schema"] = old
             if old in ("repro.stats/v1", "repro.stats/v1.1",
