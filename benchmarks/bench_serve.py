@@ -1,0 +1,28 @@
+"""Warm-server throughput benchmark and CI gate for ``repro serve``.
+
+Thin entry point over :mod:`repro.serve.bench`: spawns a server (or
+targets ``--socket``), drives N concurrent closed-loop clients per
+suite, prints/records exact warm p50/p90/p99 latency and
+requests/second, checks every response byte-identical to a one-shot
+``repro compile``, and with ``--gate R`` fails unless the warm p50
+beats a fresh subprocess per request by at least R times.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        [--jobs 2] [--clients 4] [--requests 8] \
+        [--out BENCH_serve.json] [--ledger runs.jsonl] [--gate 5.0]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# CI runs this script directly (no PYTHONPATH); make src/ importable.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -131,6 +131,21 @@ class AnalysisManager:
                 "oracle_hits": self.oracle_stats.hits,
                 "oracle_misses": self.oracle_stats.misses}
 
+    def stats_since(self, mark: dict[str, int]) -> dict[str, int]:
+        """The counter deltas since a :meth:`stats` snapshot -- what one
+        pipeline run contributes when a process-lifetime manager (a
+        ``repro serve`` pool worker's) serves many runs."""
+        return {name: value - mark.get(name, 0)
+                for name, value in self.stats().items()}
+
+    def flush(self) -> None:
+        """Drop every per-function cache entry, keeping the lifetime
+        counters.  Long-lived managers (pool workers) call this between
+        tasks: pipeline runs mutate fresh module *copies*, so entries
+        for a finished run's functions can never hit again and would
+        only pin dead IR in memory."""
+        self._cache.clear()
+
     # ------------------------------------------------------------------
     # Analysis getters
     # ------------------------------------------------------------------

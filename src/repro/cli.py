@@ -15,6 +15,9 @@ Usage (also via ``python -m repro``):
                                            # breakdown for all pipelines
     repro tables                           # the paper's tables on the
                                            # simulated suites
+    repro serve --socket /tmp/repro.sock \\
+                --jobs 4                   # warm compile service
+                                           # (see docs/serving.md)
     repro perf record --ledger runs.jsonl  # benchmark into the ledger
     repro perf diff -2 -1                  # compare two ledger entries
     repro perf trend --suite SPECint       # per-suite trajectory
@@ -256,6 +259,35 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the warm compile service until SIGTERM/SIGINT (graceful
+    drain) or a client ``shutdown`` op."""
+    from .serve.server import CompileServer
+
+    if args.socket is None and args.http_port is None:
+        raise SystemExit("error: serve needs --socket PATH and/or "
+                         "--http PORT")
+    server = CompileServer(socket_path=args.socket,
+                           http_port=args.http_port,
+                           jobs=args.jobs, cache=args.cache_dir,
+                           ledger=args.ledger,
+                           batch_window=args.batch_window)
+    def banner() -> None:
+        # Runs after start(): an ``--http 0`` port is resolved by now.
+        endpoints = [e for e in (
+            args.socket and f"unix:{args.socket}",
+            server.http_port is not None
+            and f"http://{server.http_host}:{server.http_port}") if e]
+        print(f"repro serve: jobs={server.jobs} "
+              f"cache={server.cache.path} on {', '.join(endpoints)}",
+              file=sys.stderr)
+
+    import asyncio
+
+    asyncio.run(server.run(ready=banner))
+    return 0
+
+
 def cmd_perf(args) -> int:
     from .observability.ledger import (diff_entries, export_prometheus,
                                        select_entries, trend_rows)
@@ -312,13 +344,15 @@ def cmd_perf(args) -> int:
 
     if args.perf_command == "trend":
         rows = trend_rows(ledger.entries(), suite=args.suite)
-        print("| suite | experiment | rev | wall_s | moves | speedup |")
-        print("|---|---|---|---:|---:|---:|")
+        print("| suite | experiment | rev | wall_s | moves | rps "
+              "| speedup |")
+        print("|---|---|---|---:|---:|---:|---:|")
         for row in rows:
             speedup = f"{row['speedup']:.3f}x" if row["speedup"] else "-"
+            rps = row["rps"] if row.get("rps") is not None else "-"
             print(f"| {row['suite'] or '-'} | {row['experiment']} "
                   f"| {row['rev']} | {row['wall_s']} | {row['moves']} "
-                  f"| {speedup} |")
+                  f"| {rps} | {speedup} |")
         return 0
 
     if args.perf_command == "export":
@@ -338,6 +372,28 @@ def _perf_record(args, ledger) -> int:
     if ledger is None:
         raise SystemExit("error: no ledger (pass --ledger FILE or set "
                          "$REPRO_LEDGER)")
+    if args.serve_json:
+        # Ingest a bench_serve.py result document instead of running
+        # compile benchmarks: one serve:<suite> throughput row each.
+        from .serve.bench import serve_records
+
+        try:
+            with open(args.serve_json) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"error: cannot read {args.serve_json}: {error}")
+        records = serve_records(document)
+        for record in records:
+            ledger.append(record)
+            serve = record["serve"]
+            print(f"recorded {record['suite']}/{record['experiment']}: "
+                  f"p50 {serve['p50_s']}s rps {serve['rps']} "
+                  f"at {record['rev']}")
+        if not records:
+            print(f"warning: {args.serve_json} has no rows",
+                  file=sys.stderr)
+        return 0
     suites = all_suites()
     if args.suite:
         wanted = set(args.suite)
@@ -470,6 +526,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs(tables_p)
     tables_p.set_defaults(fn=cmd_tables)
 
+    serve_p = sub.add_parser(
+        "serve", help="warm compile service: persistent worker pool, "
+                      "request batching, live metrics "
+                      "(see docs/serving.md)")
+    serve_p.add_argument("--socket", default=None, metavar="PATH",
+                         help="unix socket to listen on (NDJSON "
+                              "protocol)")
+    serve_p.add_argument("--http", dest="http_port", type=int,
+                         default=None, metavar="PORT",
+                         help="also serve HTTP on 127.0.0.1:PORT "
+                              "(POST /compile, GET /stats /metrics "
+                              "/healthz); 0 picks a free port")
+    serve_p.add_argument("--batch-window", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="wait this long after the first queued "
+                              "request to coalesce more into the batch "
+                              "(default 0: batch whatever is already "
+                              "queued)")
+    _add_jobs(serve_p)
+    serve_p.set_defaults(fn=cmd_serve)
+
     perf_p = sub.add_parser(
         "perf", help="record, compare and export run-ledger telemetry")
     perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
@@ -487,6 +564,11 @@ def build_parser() -> argparse.ArgumentParser:
     record_p.add_argument("--rounds", type=int, default=3, metavar="N",
                           help="timing rounds per record (default 3; "
                                "the min is recorded)")
+    record_p.add_argument("--serve-json", default=None, metavar="FILE",
+                          help="ingest a benchmarks/bench_serve.py "
+                               "result document (BENCH_serve.json) as "
+                               "serve:<suite> throughput rows instead "
+                               "of running compile benchmarks")
     _add_jobs(record_p)
     record_p.set_defaults(fn=cmd_perf)
 

@@ -290,7 +290,11 @@ def trend_rows(entries: Iterable[dict],
                suite: Optional[str] = None) -> list[dict]:
     """Chronological per-suite trajectory rows: each record with a
     wall time, annotated with the speedup against the *previous*
-    record of the same comparison key."""
+    record of the same comparison key.  ``repro serve`` throughput
+    records (``suite="serve:<name>"``, a ``serve`` block with
+    requests/second; ``wall_s`` is the warm p50) surface their ``rps``
+    so the service trajectory reads alongside the compile-time minima.
+    """
     rows = []
     last: dict[tuple, float] = {}
     for record in entries:
@@ -309,6 +313,7 @@ def trend_rows(entries: Iterable[dict],
             "ts": record["ts"],
             "wall_s": wall,
             "moves": record["totals"]["moves"],
+            "rps": (record.get("serve") or {}).get("rps"),
             "speedup": round(previous / wall, 3) if previous else None,
         })
     return rows

@@ -35,12 +35,32 @@ exactly as it would serially.
 ``run_table5``, the CLI ``--jobs`` and the benchmark harness):
 ``None`` reads ``$REPRO_JOBS`` (default 1), ``0`` means all cores,
 ``1`` is serial, ``N>1`` uses at most N workers.
+
+Two pool disciplines coexist:
+
+* **One-shot fork pools** (the original design): the pool is created
+  *after* the per-call worker state is staged in a module global, so
+  forked children inherit the module for free and nothing big is
+  pickled.  The pool dies with the call -- which costs a flat
+  fork+teardown overhead per ``run_experiment`` (the ~70-90 ms the
+  jobs=4 column of BENCH_compile_time.json shows dominating small
+  suites).
+* **Persistent pools** (:class:`WorkerPool`): created once, reused
+  across calls -- the warm substrate ``repro serve`` and repeated
+  ``run_experiments``/``run_table`` calls run on.  Workers are forked
+  once, so per-call state travels *pickled in the task spec* instead of
+  by inheritance; each worker keeps process-lifetime state
+  (:func:`_pool_cache` instances per cache directory, one
+  :func:`_pool_manager` analysis manager) that stays hot between
+  submissions.  A dead worker (``BrokenProcessPool``) triggers one
+  respawn-and-retry before the caller's serial fallback.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -113,25 +133,110 @@ def partition_functions(module: Module, workers: int) -> list[list[str]]:
 # ----------------------------------------------------------------------
 _WORKER_STATE = None
 
+# Process-lifetime worker state for *persistent* pools (fork-once
+# workers cannot inherit per-call state, so tasks arrive pickled and
+# the expensive objects -- cache handles, the analysis manager -- are
+# built once per worker process and reused across submissions).
+_POOL_CACHES: dict[str, object] = {}
+_POOL_MANAGER = None
 
-def _shard_task(spec):
-    """Run the phase pipeline on one function shard (worker process)."""
+
+def _pool_cache(cache):
+    """Resolve a task's cache field inside a pool worker.
+
+    A string/path is interned to one process-lifetime
+    :class:`~repro.cache.CompilationCache` per directory (the warm
+    handle ``repro serve`` requests share); an instance that travelled
+    pickled passes through; ``None`` stays ``None``.
+    """
+    if cache is None:
+        return None
+    if isinstance(cache, (str, os.PathLike)):
+        path = os.fspath(cache)
+        interned = _POOL_CACHES.get(path)
+        if interned is None:
+            from .cache import CompilationCache
+
+            interned = _POOL_CACHES[path] = CompilationCache(path)
+        return interned
+    return cache
+
+
+def _pool_manager():
+    """This worker's process-lifetime
+    :class:`~repro.analysis.manager.AnalysisManager` -- it survives
+    between requests (counters accumulate for the worker's lifetime);
+    callers flush the per-function entries after each task because
+    pipeline runs operate on fresh copies, so stale entries could never
+    hit again."""
+    global _POOL_MANAGER
+    if _POOL_MANAGER is None:
+        from .analysis.manager import AnalysisManager
+
+        _POOL_MANAGER = AnalysisManager()
+    return _POOL_MANAGER
+
+
+def _pool_ping(delay: float = 0.0) -> int:
+    """Health-check task: returns the worker's pid."""
+    if delay:
+        time.sleep(delay)
+    return os.getpid()
+
+
+def _picklable(obj) -> bool:
+    """Whether *obj* survives the pickle trip to a persistent-pool
+    worker (modules carrying lambda externals, for instance, do not --
+    those calls degrade to the one-shot fork path)."""
+    try:
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return False
+    return True
+
+
+def _run_shard(shard, name, phases, options, target, validate, traced,
+               cache, metriced, analyses=None):
+    """The shared worker body: run the phase pipeline on one shard
+    module and return its picklable payload."""
     from . import pipeline as _pipeline
     from .observability.metrics import MetricsRegistry
 
+    tracer = Tracer() if traced else None
+    metrics = MetricsRegistry() if metriced else None
+    start = time.perf_counter_ns()
+    result = _pipeline.run_phases(shard, name, phases, options, target,
+                                  None, validate, tracer, cache=cache,
+                                  metrics=metrics, analyses=analyses)
+    return _result_payload(result, time.perf_counter_ns() - start)
+
+
+def _shard_task(spec):
+    """Run the phase pipeline on one function shard (worker process,
+    one-shot fork pool: state arrives by fork-time inheritance)."""
     index, names = spec
     (module, name, phases, options, target, validate, traced, cache,
      metriced) = _WORKER_STATE
     shard = Module(module.name)
     for fn_name in names:
         shard.add_function(module.functions[fn_name])  # run_phases copies
-    tracer = Tracer() if traced else None
-    metrics = MetricsRegistry() if metriced else None
-    start = time.perf_counter_ns()
-    result = _pipeline.run_phases(shard, name, phases, options, target,
-                                  None, validate, tracer, cache=cache,
-                                  metrics=metrics)
-    return index, _result_payload(result, time.perf_counter_ns() - start)
+    return index, _run_shard(shard, name, phases, options, target,
+                             validate, traced, cache, metriced)
+
+
+def _pooled_shard_task(spec):
+    """Persistent-pool twin of :func:`_shard_task`: the shard module
+    travels pickled in the spec, the cache handle and analysis manager
+    are this worker's process-lifetime ones."""
+    (index, shard, name, phases, options, target, validate, traced,
+     cache, metriced) = spec
+    manager = _pool_manager()
+    try:
+        return index, _run_shard(shard, name, phases, options, target,
+                                 validate, traced, _pool_cache(cache),
+                                 metriced, analyses=manager)
+    finally:
+        manager.flush()
 
 
 def _experiment_task(spec):
@@ -148,6 +253,24 @@ def _experiment_task(spec):
     result = _pipeline.run_phases(module, name, _pipeline.EXPERIMENTS[name],
                                   options, target, verify, validate, tracer,
                                   cache=cache, metrics=metrics)
+    payload = _result_payload(result, time.perf_counter_ns() - start)
+    return index, label, payload
+
+
+def _pooled_experiment_task(spec):
+    """Persistent-pool twin of :func:`_experiment_task`: everything the
+    run needs (module included) arrives pickled in the spec."""
+    from . import pipeline as _pipeline
+    from .observability.metrics import MetricsRegistry
+
+    (index, label, name, options, module, verify, validate, traced,
+     target, cache, metriced) = spec
+    tracer = Tracer() if traced else None
+    metrics = MetricsRegistry() if metriced else None
+    start = time.perf_counter_ns()
+    result = _pipeline.run_phases(module, name, _pipeline.EXPERIMENTS[name],
+                                  options, target, verify, validate, tracer,
+                                  cache=_pool_cache(cache), metrics=metrics)
     payload = _result_payload(result, time.perf_counter_ns() - start)
     return index, label, payload
 
@@ -198,6 +321,104 @@ def _run_pool(state, task, specs, workers: int):
         return None
     finally:
         _WORKER_STATE = None
+
+
+# ----------------------------------------------------------------------
+# Persistent worker pool
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A create-once, reuse-forever fork pool.
+
+    ``run_experiment``'s default discipline builds and tears down a
+    ``ProcessPoolExecutor`` per call; this class keeps one alive so the
+    fork cost, interpreter state and the workers' process-lifetime
+    caches (:func:`_pool_cache`, :func:`_pool_manager`) are paid once.
+    ``repro serve`` holds one for its whole lifetime; batch callers can
+    pass one to ``run_experiments``/``run_table`` via ``pool=``.
+
+    Tasks submitted through :meth:`run` must carry their own state
+    (the ``_pooled_*`` task shapes) -- fork-time inheritance only works
+    for pools created after the state is staged.  A dead worker
+    (``BrokenProcessPool``) is handled by discarding the executor,
+    respawning a fresh one and retrying the submission once; compile
+    tasks are pure, so the retry is safe.  :meth:`run` returns ``None``
+    only when the respawned pool breaks too.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.workers = resolve_jobs(jobs)
+        self.respawns = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                             mp_context=context)
+        return self._pool
+
+    @property
+    def alive(self) -> bool:
+        """Whether an executor is currently up (it may still be broken
+        -- :meth:`ping` actually exercises a worker)."""
+        return self._pool is not None
+
+    def warm(self) -> list[int]:
+        """Force every worker to spawn now (a brief sleep per task
+        spreads them across distinct processes) and return their pids.
+        Called at server startup so the fork happens before request
+        threads exist."""
+        delay = 0.05 if self.workers > 1 else 0.0
+        pids = self.run(_pool_ping, [delay] * self.workers)
+        return sorted(set(pids)) if pids else []
+
+    def ping(self) -> bool:
+        """Round-trip one trivial task (respawning if needed)."""
+        return bool(self.run(_pool_ping, [0.0]))
+
+    def run(self, task, specs) -> Optional[list]:
+        """Map *task* over *specs*; results in submission order.
+
+        On ``BrokenProcessPool`` (a worker died) the pool is respawned
+        and the whole submission retried once; ``None`` means even the
+        retry's pool broke.  Worker *Python* exceptions propagate
+        unchanged, exactly like the one-shot driver.
+        """
+        specs = list(specs)
+        for _ in range(2):
+            pool = self._ensure()
+            try:
+                futures = [pool.submit(task, spec) for spec in specs]
+                return [future.result() for future in futures]
+            except (BrokenProcessPool, OSError):
+                self.respawn()
+        return None
+
+    def respawn(self) -> None:
+        """Discard the (broken) executor; the next submission forks a
+        fresh one."""
+        pool, self._pool = self._pool, None
+        self.respawns += 1
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the executor down, waiting for in-flight tasks."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return (f"<WorkerPool workers={self.workers} {state} "
+                f"respawns={self.respawns}>")
 
 
 # ----------------------------------------------------------------------
@@ -313,11 +534,21 @@ def _merge_store_stats(payloads: Sequence[dict]) -> dict:
 # ----------------------------------------------------------------------
 # Function-level parallel experiment
 # ----------------------------------------------------------------------
+def shard_module(module: Module, names: Sequence[str]) -> Module:
+    """A module holding just *names*' functions (externals stripped --
+    they are arbitrary callables, never pickled to a pool worker;
+    ``run_phases`` copies, so sharing the Function objects is safe)."""
+    shard = Module(module.name)
+    for fn_name in names:
+        shard.add_function(module.functions[fn_name])
+    return shard
+
+
 def run_phases_parallel(module: Module, name: str, phases,
                         options=None, target: Target = ST120,
                         verify=None, validate: bool = True,
                         tracer=None, jobs: Optional[int] = None,
-                        cache=None, metrics=None):
+                        cache=None, metrics=None, pool=None):
     """Parallel twin of :func:`repro.pipeline.run_phases`.
 
     Shards the module's functions across a fork pool, each worker
@@ -328,8 +559,10 @@ def run_phases_parallel(module: Module, name: str, phases,
     passed, each worker records into a private registry and the parent
     merges the snapshots element-wise (sums are order-free, so the
     deterministic fields match the serial run at any job count).
-    Falls back to the serial path whenever parallelism is unavailable
-    or a worker dies.
+    ``pool`` (a :class:`WorkerPool`) reuses a persistent executor
+    instead of forking a one-shot pool -- same merge, same output
+    bytes, no per-call fork cost.  Falls back to the serial path
+    whenever parallelism is unavailable or a worker dies.
     """
     from . import pipeline as _pipeline
     from .interp import run_module
@@ -338,18 +571,26 @@ def run_phases_parallel(module: Module, name: str, phases,
     tracer = resolve_tracer(tracer)
     metrics = resolve_metrics(metrics)
     phases = tuple(phases)
-    workers = min(resolve_jobs(jobs), len(module.functions))
+    configured = pool.workers if pool is not None else resolve_jobs(jobs)
+    workers = min(configured, len(module.functions))
     if workers <= 1 or len(module.functions) <= 1 or not fork_available():
         return _pipeline.run_phases(module, name, phases, options, target,
                                     verify, validate, tracer, cache=cache,
                                     metrics=metrics)
 
     shards = partition_functions(module, workers)
-    state = (module, name, phases, options, target, validate,
-             tracer.enabled, cache, metrics.enabled)
     pool_start = time.perf_counter_ns()
-    outcomes = _run_pool(state, _shard_task, list(enumerate(shards)),
-                         len(shards))
+    if pool is not None:
+        specs = [(i, shard_module(module, shard), name, phases, options,
+                  target, validate, tracer.enabled, cache,
+                  metrics.enabled)
+                 for i, shard in enumerate(shards)]
+        outcomes = pool.run(_pooled_shard_task, specs)
+    else:
+        state = (module, name, phases, options, target, validate,
+                 tracer.enabled, cache, metrics.enabled)
+        outcomes = _run_pool(state, _shard_task, list(enumerate(shards)),
+                             len(shards))
     if outcomes is None:  # a worker died: degrade, don't fail
         return _pipeline.run_phases(module, name, phases, options, target,
                                     verify, validate, tracer, cache=cache,
@@ -426,10 +667,16 @@ def run_experiments_parallel(module: Module, specs, verify=None,
                              validate: bool = True, traced: bool = False,
                              target: Target = ST120,
                              jobs: Optional[int] = None,
-                             cache=None, metriced: bool = False):
+                             cache=None, metriced: bool = False,
+                             pool=None):
     """Run ``(label, experiment, options)`` *specs* across a fork pool,
     one whole experiment per task (the outer-level sharding used by
     ``run_table``/``run_table5``/``repro experiments``).
+
+    ``pool`` (a :class:`WorkerPool`) reuses a persistent executor
+    instead of forking per call; the module then travels pickled in
+    each spec, so modules carrying unpicklable externals degrade to the
+    one-shot fork path automatically.
 
     Returns the :class:`ExperimentResult` list in spec order, or
     ``None`` when parallelism is unavailable or the pool broke -- the
@@ -437,13 +684,22 @@ def run_experiments_parallel(module: Module, specs, verify=None,
     """
     from . import pipeline as _pipeline
 
-    workers = min(resolve_jobs(jobs), len(specs))
+    configured = pool.workers if pool is not None else resolve_jobs(jobs)
+    workers = min(configured, len(specs))
     if workers <= 1 or len(specs) <= 1 or not fork_available():
         return None
-    state = (module, verify, validate, traced, target, cache, metriced)
-    pool_specs = [(i, label, name, options)
-                  for i, (label, name, options) in enumerate(specs)]
-    outcomes = _run_pool(state, _experiment_task, pool_specs, workers)
+    outcomes = None
+    if pool is not None and _picklable((module, verify)):
+        pool_specs = [(i, label, name, options, module, verify, validate,
+                       traced, target, cache, metriced)
+                      for i, (label, name, options) in enumerate(specs)]
+        outcomes = pool.run(_pooled_experiment_task, pool_specs)
+    if outcomes is None:
+        state = (module, verify, validate, traced, target, cache,
+                 metriced)
+        pool_specs = [(i, label, name, options)
+                      for i, (label, name, options) in enumerate(specs)]
+        outcomes = _run_pool(state, _experiment_task, pool_specs, workers)
     if outcomes is None:
         return None
 

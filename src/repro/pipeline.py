@@ -212,7 +212,8 @@ def run_experiment(module: Module, name: str,
                    tracer=None,
                    jobs: Optional[int] = None,
                    cache=None,
-                   metrics=None) -> ExperimentResult:
+                   metrics=None,
+                   pool=None) -> ExperimentResult:
     """Run experiment *name* on a fresh copy of *module*.
 
     ``verify`` is an optional list of ``(function_name, args)`` pairs;
@@ -232,20 +233,24 @@ def run_experiment(module: Module, name: str,
     ideally fresh per run) records latency histograms and traffic
     counters into ``result.metrics``; ``None`` installs the
     zero-overhead null registry.  Neither observability knob changes
-    a single output byte.
+    a single output byte.  ``pool`` (a
+    :class:`~repro.parallel.WorkerPool`) reuses a persistent executor
+    instead of forking per call -- same merge, same bytes, no per-call
+    fork cost.
     """
     phases = EXPERIMENTS[name]
     from .cache import resolve_cache
     from .parallel import fork_available, resolve_jobs
 
     cache = resolve_cache(cache)
-    if resolve_jobs(jobs) > 1 and len(module.functions) > 1 \
-            and fork_available():
+    configured = pool.workers if pool is not None else resolve_jobs(jobs)
+    if configured > 1 and len(module.functions) > 1 and fork_available():
         from .parallel import run_phases_parallel
 
         return run_phases_parallel(module, name, phases, options, target,
                                    verify, validate, tracer, jobs=jobs,
-                                   cache=cache, metrics=metrics)
+                                   cache=cache, metrics=metrics,
+                                   pool=pool)
     return run_phases(module, name, phases, options, target, verify,
                       validate, tracer, cache=cache, metrics=metrics)
 
@@ -390,7 +395,9 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
                validate: bool = True,
                tracer=None,
                cache=None,
-               metrics=None) -> ExperimentResult:
+               metrics=None,
+               analyses: Optional[AnalysisManager] = None) \
+        -> ExperimentResult:
     tracer = resolve_tracer(tracer)
     metrics = resolve_metrics(metrics)
     # Hoisted once: the hot loops below guard *every* timing call and
@@ -403,7 +410,11 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
     work = module.copy()
     result = ExperimentResult(name=name, module=work, tracer=tracer)
     references = {}
-    manager = AnalysisManager(tracer)
+    # ``analyses`` lets a long-lived caller (a serve pool worker) keep
+    # one process-lifetime manager across runs; its ``analysis_cache``
+    # block then reports this run's deltas, not lifetime totals.
+    manager = analyses if analyses is not None else AnalysisManager(tracer)
+    analysis_mark = manager.stats() if analyses is not None else None
     cache_mark = cache.stats() if cache is not None else None
     with tracer.span(f"experiment:{name}", experiment=name):
         if verify:
@@ -564,7 +575,8 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
         result.moves = count_moves(work)
         result.weighted = weighted_moves(work, analyses=manager)
         result.instructions = count_instructions(work)
-        result.analysis_cache = manager.stats()
+        result.analysis_cache = manager.stats() if analysis_mark is None \
+            else manager.stats_since(analysis_mark)
         if cache is not None:
             result.cache = cache.stats_since(cache_mark)
         if measuring:
@@ -597,7 +609,8 @@ def run_phases(module: Module, name: str, phases: Iterable[str],
 
 
 def _run_labelled(module: Module, specs, verify, validate, tracer,
-                  jobs, cache=None, metrics=None) -> list[ExperimentResult]:
+                  jobs, cache=None, metrics=None,
+                  pool=None) -> list[ExperimentResult]:
     """Run ``(label, experiment, options)`` *specs*, serially or -- when
     ``jobs`` allows -- one whole experiment per pool worker.
 
@@ -606,7 +619,8 @@ def _run_labelled(module: Module, specs, verify, validate, tracer,
     fresh tracer per run, which is what per-run stats documents want);
     ``metrics`` works the same way with
     :class:`~repro.observability.MetricsRegistry`.  The parallel path
-    always gives each run its own tracer and registry.
+    always gives each run its own tracer and registry.  ``pool`` reuses
+    a persistent :class:`~repro.parallel.WorkerPool` across calls.
     """
     from .cache import resolve_cache
     from .parallel import run_experiments_parallel
@@ -616,7 +630,8 @@ def _run_labelled(module: Module, specs, verify, validate, tracer,
                                        validate=validate,
                                        traced=tracer is not None,
                                        jobs=jobs, cache=cache,
-                                       metriced=metrics is not None)
+                                       metriced=metrics is not None,
+                                       pool=pool)
     if results is not None:
         return results
     results = []
@@ -639,7 +654,8 @@ def run_table(module: Module, table: str,
               tracer=None,
               jobs: Optional[int] = None,
               cache=None,
-              metrics=None) -> list[ExperimentResult]:
+              metrics=None,
+              pool=None) -> list[ExperimentResult]:
     """Run all experiments of one paper table on *module*.
 
     ``options``/``validate``/``tracer``/``cache``/``metrics`` are
@@ -650,7 +666,7 @@ def run_table(module: Module, table: str,
     """
     specs = [(name, name, options) for name in TABLE_EXPERIMENTS[table]]
     return _run_labelled(module, specs, verify, validate, tracer, jobs,
-                         cache=cache, metrics=metrics)
+                         cache=cache, metrics=metrics, pool=pool)
 
 
 def run_experiments(module: Module,
@@ -662,12 +678,14 @@ def run_experiments(module: Module,
                     tracer=None,
                     jobs: Optional[int] = None,
                     cache=None,
-                    metrics=None) -> list[ExperimentResult]:
+                    metrics=None,
+                    pool=None) -> list[ExperimentResult]:
     """Run several experiments (default: the whole Table 1 matrix) on
-    *module*, optionally sharding them across a worker pool."""
+    *module*, optionally sharding them across a worker pool (``pool``
+    reuses a persistent :class:`~repro.parallel.WorkerPool`)."""
     specs = [(name, name, options) for name in (names or EXPERIMENTS)]
     return _run_labelled(module, specs, verify, validate, tracer, jobs,
-                         cache=cache, metrics=metrics)
+                         cache=cache, metrics=metrics, pool=pool)
 
 
 def table5_variants() -> dict[str, PhaseOptions]:
@@ -686,10 +704,11 @@ def run_table5(module: Module,
                tracer=None,
                jobs: Optional[int] = None,
                cache=None,
-               metrics=None) -> list[ExperimentResult]:
+               metrics=None,
+               pool=None) -> list[ExperimentResult]:
     """Table 5: weighted move counts of the coalescer variants, using
     the full constrained pipeline (``Lφ,ABI+C``)."""
     specs = [(label, "Lphi,ABI+C", options)
              for label, options in table5_variants().items()]
     return _run_labelled(module, specs, verify, validate, tracer, jobs,
-                         cache=cache, metrics=metrics)
+                         cache=cache, metrics=metrics, pool=pool)

@@ -1,0 +1,337 @@
+"""Closed-loop load generator for the warm compile service.
+
+``benchmarks/bench_serve.py`` (a thin wrapper over :func:`main`) spawns
+a server (or targets a running one via ``--socket``), drives N
+concurrent closed-loop clients per suite and records **exact** warm
+p50/p90/p99 latency (computed from the raw client-side samples, not
+histogram buckets) plus requests/second into ``BENCH_serve.json`` and
+-- via ``--ledger`` or ``repro perf record --serve-json`` -- the run
+ledger, as ``suite="serve:<name>"`` rows that ``repro perf trend``
+shows alongside the compile-time minima.
+
+The baseline is what the service exists to beat: a **fresh ``repro
+compile`` subprocess per request** (interpreter startup + imports +
+cold caches), measured as the min over a few rounds.  ``--gate R``
+turns the run into a CI gate: warm-server p50 must be at least R times
+faster than the subprocess baseline for the gate suite, and every
+server response must be byte-identical to the one-shot CLI stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Optional, Sequence
+
+from ..cache.key import (code_version, options_fingerprint,
+                         target_fingerprint)
+from ..ir.printer import format_module
+from ..machine.st120 import ST120
+from ..observability.ledger import LEDGER_SCHEMA, git_rev, resolve_ledger
+from ..pipeline import EXPERIMENTS
+from .client import ServeClient, wait_for_server
+
+BENCH_SCHEMA = "repro.bench_serve/v1"
+DEFAULT_SUITES = ("VALcc1", "LAI_Large", "SPECint")
+DEFAULT_EXPERIMENT = "Lphi,ABI+C"
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Exact nearest-rank percentile of the raw samples."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+def run_load(socket_path: str, source: str, experiment: str,
+             clients: int, requests_per_client: int,
+             name: str = "request") -> dict:
+    """N concurrent closed-loop clients, each its own connection (so
+    the server sees genuinely concurrent in-flight requests and can
+    batch).  Returns raw latencies, throughput and one response body
+    for equivalence checking."""
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[str] = []
+    bodies: list[dict] = [None] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(index: int) -> None:
+        with ServeClient(socket_path) as client:
+            barrier.wait()
+            for _ in range(requests_per_client):
+                start = time.perf_counter()
+                response = client.compile(source, experiment=experiment,
+                                          name=name)
+                latencies[index].append(time.perf_counter() - start)
+                if not response.get("ok"):
+                    errors.append(response.get("error", "unknown"))
+                    return
+                bodies[index] = response
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - begin
+    if errors:
+        raise RuntimeError(f"serve load failed: {errors[0]}")
+    flat = [sample for per_client in latencies for sample in per_client]
+    return {
+        "clients": clients,
+        "requests": len(flat),
+        "elapsed_s": round(elapsed, 6),
+        "rps": round(len(flat) / elapsed, 3) if elapsed else None,
+        "p50_s": round(percentile(flat, 50), 6),
+        "p90_s": round(percentile(flat, 90), 6),
+        "p99_s": round(percentile(flat, 99), 6),
+        "mean_s": round(sum(flat) / len(flat), 6),
+        "samples": [round(sample, 6) for sample in flat],
+        "response": next(body for body in bodies if body is not None),
+    }
+
+
+def measure_subprocess(lai_path: str, experiment: str,
+                       rounds: int = 3) -> tuple[float, str]:
+    """Min wall time (and stdout) of a fresh ``repro compile``
+    subprocess per request -- the cold-start baseline."""
+    best = math.inf
+    stdout = ""
+    for _ in range(rounds):
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "compile", lai_path,
+             "-e", experiment],
+            capture_output=True, text=True, check=True,
+            env=_pythonpath_env())
+        best = min(best, time.perf_counter() - start)
+        stdout = proc.stdout
+    return best, stdout
+
+
+def _pythonpath_env() -> dict:
+    """Child processes must resolve ``repro`` the same way we did."""
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    current = env.get("PYTHONPATH", "")
+    if package_root not in current.split(os.pathsep):
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (package_root, current) if p)
+    return env
+
+
+# ----------------------------------------------------------------------
+# The benchmark proper
+# ----------------------------------------------------------------------
+def bench_suite(socket_path: str, suite_name: str, experiment: str,
+                clients: int, requests_per_client: int,
+                subprocess_rounds: int = 3, check: bool = True) -> dict:
+    """One suite: subprocess baseline, one warm-up request, the
+    concurrent load run, and the byte-identity check."""
+    from ..benchgen import load_suite
+
+    suite = load_suite(suite_name)
+    source = format_module(suite.module)
+    with tempfile.NamedTemporaryFile("w", suffix=".lai",
+                                     delete=False) as handle:
+        handle.write(source + "\n")
+        lai_path = handle.name
+    try:
+        subprocess_s, cli_stdout = measure_subprocess(
+            lai_path, experiment, subprocess_rounds)
+        with ServeClient(socket_path) as client:
+            warmup = client.compile(source, experiment=experiment,
+                                    name=suite_name)
+        if not warmup.get("ok"):
+            raise RuntimeError(
+                f"{suite_name}: warm-up failed: {warmup.get('error')}")
+        load = run_load(socket_path, source, experiment, clients,
+                        requests_per_client, name=suite_name)
+        response = load.pop("response")
+        if check and response["module"] + "\n" != cli_stdout:
+            raise RuntimeError(
+                f"{suite_name}: server output is not byte-identical "
+                f"to `repro compile`")
+        speedup = subprocess_s / load["p50_s"] if load["p50_s"] else None
+        return {
+            "suite": suite_name,
+            "experiment": experiment,
+            "subprocess_s": round(subprocess_s, 6),
+            "cold_wall_s": warmup.get("wall_s"),
+            "speedup": round(speedup, 3) if speedup else None,
+            "stats_digest": response["stats_digest"],
+            "totals": {"moves": response["moves"],
+                       "weighted": response["weighted"],
+                       "instructions": response["instructions"]},
+            **load,
+        }
+    finally:
+        os.unlink(lai_path)
+
+
+def serve_records(document: dict) -> list[dict]:
+    """BENCH_serve.json -> run-ledger records (``suite="serve:<name>"``
+    so serve rows never collide with compile-time rows under the
+    ``(suite, experiment, options_fp)`` comparison key).  Shared by the
+    bench itself (``--ledger``) and ``repro perf record --serve-json``.
+    """
+    records = []
+    for row in document.get("rows", []):
+        records.append({
+            "schema": LEDGER_SCHEMA,
+            "ts": document.get("ts") or round(time.time(), 3),
+            "rev": document.get("rev") or git_rev(),
+            "suite": f"serve:{row['suite']}",
+            "experiment": row["experiment"],
+            "phases": list(EXPERIMENTS.get(row["experiment"], ())),
+            "options_fp": options_fingerprint(None),
+            "target_fp": target_fingerprint(ST120),
+            "code_version": document.get("code_version")
+                or code_version(),
+            "stats_digest": row["stats_digest"],
+            "totals": dict(row["totals"]),
+            "timing": {"wall_s": row["p50_s"]},
+            "jobs": document.get("jobs"),
+            "serve": {key: row.get(key)
+                      for key in ("p50_s", "p90_s", "p99_s", "rps",
+                                  "clients", "requests",
+                                  "subprocess_s", "speedup")},
+        })
+    return records
+
+
+def run_bench(socket_path: str, suites: Sequence[str], experiment: str,
+              clients: int, requests_per_client: int, jobs: int,
+              subprocess_rounds: int = 3, check: bool = True) -> dict:
+    rows = [bench_suite(socket_path, name, experiment, clients,
+                        requests_per_client, subprocess_rounds, check)
+            for name in suites]
+    return {
+        "schema": BENCH_SCHEMA,
+        "ts": round(time.time(), 3),
+        "rev": git_rev(),
+        "code_version": code_version(),
+        "jobs": jobs,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "experiment": experiment,
+        "rows": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_serve",
+        description="closed-loop load benchmark for `repro serve`")
+    parser.add_argument("--socket", default=None,
+                        help="target a running server instead of "
+                             "spawning one")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker pool size for the spawned server")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per client (closed loop)")
+    parser.add_argument("--suites", nargs="+", default=None,
+                        help=f"suites to drive "
+                             f"(default: {' '.join(DEFAULT_SUITES)})")
+    parser.add_argument("--experiment", default=DEFAULT_EXPERIMENT)
+    parser.add_argument("--subprocess-rounds", type=int, default=3)
+    parser.add_argument("--batch-window", type=float, default=0.0)
+    parser.add_argument("--out", default=None,
+                        help="write the result document (e.g. "
+                             "BENCH_serve.json)")
+    parser.add_argument("--ledger", default=None,
+                        help="append serve:<suite> rows to this run "
+                             "ledger")
+    parser.add_argument("--gate", type=float, default=None,
+                        help="fail unless warm p50 beats the "
+                             "subprocess baseline by this factor")
+    parser.add_argument("--gate-suite", default="LAI_Large")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip the byte-identity check")
+    args = parser.parse_args(argv)
+    suites = tuple(args.suites) if args.suites else DEFAULT_SUITES
+
+    proc: Optional[subprocess.Popen] = None
+    socket_path = args.socket
+    tmpdir: Optional[tempfile.TemporaryDirectory] = None
+    try:
+        if socket_path is None:
+            tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+            socket_path = os.path.join(tmpdir.name, "serve.sock")
+            command = [sys.executable, "-m", "repro", "serve",
+                       "--socket", socket_path]
+            if args.jobs is not None:
+                command += ["--jobs", str(args.jobs)]
+            if args.batch_window:
+                command += ["--batch-window", str(args.batch_window)]
+            proc = subprocess.Popen(command, env=_pythonpath_env(),
+                                    stdout=subprocess.DEVNULL,
+                                    stderr=subprocess.DEVNULL)
+            wait_for_server(socket_path)
+
+        document = run_bench(socket_path, suites, args.experiment,
+                             args.clients, args.requests,
+                             args.jobs if args.jobs is not None else 1,
+                             args.subprocess_rounds,
+                             check=not args.no_check)
+    finally:
+        if proc is not None:
+            try:
+                with ServeClient(socket_path, timeout=30) as client:
+                    client.shutdown()
+                proc.wait(timeout=30)
+            except (OSError, ValueError, subprocess.TimeoutExpired):
+                proc.kill()
+                proc.wait()
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+    for row in document["rows"]:
+        print(f"{row['suite']:<12} p50={row['p50_s'] * 1000:8.2f}ms "
+              f"p99={row['p99_s'] * 1000:8.2f}ms "
+              f"rps={row['rps']:8.2f} "
+              f"subprocess={row['subprocess_s'] * 1000:8.2f}ms "
+              f"speedup={row['speedup']:.1f}x")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+    ledger = resolve_ledger(args.ledger)
+    if ledger is not None:
+        for record in serve_records(document):
+            ledger.append(record)
+
+    if args.gate is not None:
+        gated = [row for row in document["rows"]
+                 if row["suite"] == args.gate_suite] or document["rows"]
+        row = gated[0]
+        if row["speedup"] is None or row["speedup"] < args.gate:
+            print(f"GATE FAIL: {row['suite']} speedup "
+                  f"{row['speedup']}x < required {args.gate}x",
+                  file=sys.stderr)
+            return 1
+        print(f"gate ok: {row['suite']} speedup {row['speedup']:.1f}x "
+              f">= {args.gate}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -257,6 +257,86 @@ endfunc
                                 ("ssa", "warp-drive"), jobs=2)
 
 
+class TestWorkerPool:
+    """The persistent pool behind ``repro serve`` and ``pool=`` reuse:
+    workers fork once, survive across calls, and a killed worker is
+    respawned transparently (one retry, then serial fallback)."""
+
+    def test_warm_spawns_distinct_workers(self):
+        from repro.parallel import WorkerPool
+
+        with WorkerPool(2) as pool:
+            pids = pool.warm()
+            assert len(pids) == 2
+            assert os.getpid() not in pids
+            assert pool.alive
+            assert pool.ping()
+
+    def test_workers_survive_across_runs(self, kernels):
+        from repro.parallel import WorkerPool, _pool_ping
+
+        with WorkerPool(2) as pool:
+            before = set(pool.warm())
+            executor = pool._pool
+            for _ in range(2):
+                results = run_experiments(kernels.module,
+                                          ["Lphi,ABI+C", "C"],
+                                          pool=pool)
+                assert [r.name for r in results] == ["Lphi,ABI+C", "C"]
+            for table in ("table2",):
+                run_table(kernels.module, table, pool=pool)
+            # Same executor, same worker processes, no respawn: the
+            # whole point of passing ``pool=`` instead of ``jobs=``.
+            assert pool._pool is executor
+            assert pool.respawns == 0
+            after = set(pool.run(_pool_ping, [0.05, 0.05]))
+            assert after <= before
+
+    def test_pool_results_match_serial(self, kernels):
+        from repro.parallel import WorkerPool
+
+        serial = run_experiments(kernels.module, ["Lphi,ABI+C", "C"],
+                                 jobs=1)
+        with WorkerPool(2) as pool:
+            pooled = run_experiments(kernels.module,
+                                     ["Lphi,ABI+C", "C"], pool=pool)
+        assert [(r.moves, r.weighted) for r in serial] == \
+            [(r.moves, r.weighted) for r in pooled]
+        assert [format_module(r.module) for r in serial] == \
+            [format_module(r.module) for r in pooled]
+
+    def test_respawn_after_worker_killed(self):
+        import signal
+
+        from repro.parallel import WorkerPool, _pool_ping
+
+        with WorkerPool(2) as pool:
+            pids = pool.warm()
+            assert pids
+            os.kill(pids[0], signal.SIGKILL)
+            # The next submission trips BrokenProcessPool; the pool
+            # must respawn and retry, not fail or fall serial.
+            result = pool.run(_pool_ping, [0.0])
+            assert result is not None and len(result) == 1
+            assert pool.respawns >= 1
+            assert pool.ping()
+
+    def test_killed_worker_does_not_break_experiments(self, kernels):
+        import signal
+
+        from repro.parallel import WorkerPool
+
+        serial = run_experiments(kernels.module, ["Lphi,ABI+C", "C"],
+                                 jobs=1)
+        with WorkerPool(2) as pool:
+            pids = pool.warm()
+            os.kill(pids[-1], signal.SIGKILL)
+            pooled = run_experiments(kernels.module,
+                                     ["Lphi,ABI+C", "C"], pool=pool)
+        assert [(r.moves, r.weighted) for r in serial] == \
+            [(r.moves, r.weighted) for r in pooled]
+
+
 class TestPhaseEntryUnion:
     """Regression: ``_phase_entry`` iterated only the *after* snapshot,
     silently dropping functions removed by a phase from the deltas."""
