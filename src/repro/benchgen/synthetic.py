@@ -7,10 +7,15 @@ with structured random programs that exercise the same code shapes:
 
 * nested counted loops (accumulator phis at every header),
 * if/else diamonds over mutable "slots" (join phis),
+* multi-way dispatch merges (wide phis with one argument per arm),
+* bounded *irreducible* loops -- two-entry cycles the classic
+  reducible-CFG shortcuts do not see,
 * calls to other functions of the module (ABI pressure on R0/R1/...),
 * 2-operand instructions (``autoadd``/``mac``/``more`` ties),
-* occasional multi-way slot shuffles (swap-like phi webs, the shapes
-  where greedy coalescing goes wrong).
+* multi-way slot rotations (swap-like phi webs, the shapes where
+  greedy coalescing goes wrong),
+* pointer-class slots and store/load traffic (register-class mix,
+  observable memory effects).
 
 The generator emits *pre-SSA* LAI text -- slots are assigned many times
 -- and the pipeline's pruned SSA construction creates the phis, exactly
@@ -18,14 +23,18 @@ like compiling C would.  Loops have constant trip counts, so every
 generated program terminates and the reference interpreter can check
 semantic equivalence end to end.
 
-Determinism: everything derives from the ``seed``; the same seed always
-yields byte-identical source.
+Determinism and stability: everything derives from the ``seed``.  The
+same seed always yields byte-identical source, and each function's RNG
+stream is derived from ``(module seed, function index)`` through
+:func:`derive_seed` -- so function *i* is the same program no matter
+how many functions follow it, and adding a knob that consumes extra
+randomness in one function never reshuffles its siblings.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..ir.function import Module
 from ..lai import parse_module
@@ -33,10 +42,46 @@ from ..lai import parse_module
 _BINOPS = ["add", "sub", "mul", "and", "or", "xor", "min", "max"]
 _CMPS = ["cmplt", "cmple", "cmpgt", "cmpge", "cmpeq", "cmpne"]
 
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(seed: int, stream: int, index: int = 0) -> int:
+    """A stable 64-bit child seed for ``(seed, stream, index)``.
+
+    splitmix64-style finalizer: statistically independent streams from
+    nearby inputs, identical on every platform and Python version
+    (unlike ``hash``, which is salted for strings).  All per-function
+    randomness of :func:`generate_module` flows through this, which is
+    what makes the generated corpus *stable*: program ``i`` of seed
+    ``s`` never changes because a sibling was added or re-shaped.
+    """
+    x = (seed * 0x9E3779B97F4A7C15
+         + stream * 0xBF58476D1CE4E5B9
+         + index * 0x94D049BB133111EB + 0x2545F4914F6CDD1D) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+#: ``derive_seed`` stream tags of :func:`generate_module` (one RNG per
+#: concern keeps every draw independent of every other draw).
+_STREAM_SHAPE = 0   # arity
+_STREAM_BODY = 1    # the function body
+_STREAM_VERIFY = 2  # verify-run arguments
+
 
 @dataclass
 class SyntheticConfig:
-    """Shape parameters of one generated function."""
+    """Shape parameters of one generated function.
+
+    The knobs mirror what the paper's benchmarks vary: CFG shape
+    (diamonds, loop nesting via ``max_depth``, multi-way merges,
+    irreducible-ish two-entry loops), phi density, ABI/call pressure,
+    2-operand/tied density and register-class mix.
+    """
 
     n_slots: int = 4          # mutable variables (phi pressure)
     n_regions: int = 6        # top-level statement regions
@@ -47,6 +92,31 @@ class SyntheticConfig:
     tied_prob: float = 0.25   # chance a slot update uses autoadd/mac
     call_prob: float = 0.2    # chance a region is a call (if callees)
     max_trip: int = 4
+    # -- CFG shape beyond structured if/loop --------------------------
+    multiway_prob: float = 0.0    # n-way dispatch merging at one join
+    max_ways: int = 3             # arms of a multiway region
+    irreducible_prob: float = 0.0  # bounded two-entry ("goto") loops
+    # -- pressure knobs -----------------------------------------------
+    max_arity: int = 3            # ABI pressure: parameters per function
+    max_call_args: int = 0        # 0 = callee arity only (see call())
+    phi_density: float = 1.0      # scales slot updates per region
+    max_shuffle_width: int = 2    # rotation web size (2 = classic swap)
+    # -- register-class mix / memory traffic --------------------------
+    n_ptr_slots: int = 0          # extra PTR-class slots (p_ prefix)
+    mem_prob: float = 0.0         # store+load region through a slot
+    #: Dynamic-work bound on calls: every call site costs the product
+    #: of its enclosing loop trip counts, and a function stops placing
+    #: calls once the budget is spent.  With call chains capped at 4
+    #: tiers this keeps the worst-case interpreted step count of any
+    #: verify run well under the interpreter's limit, even for
+    #: deep-loop profiles (a call 3 loops deep at trip 4 already costs
+    #: 64 of the default 6).
+    call_budget: int = 6
+
+    def scaled_updates(self, rng: random.Random) -> int:
+        """How many slot updates a straight region performs."""
+        hi = max(1, round(3 * self.phi_density))
+        return rng.randint(1, hi)
 
 
 class _FunctionGen:
@@ -61,7 +131,17 @@ class _FunctionGen:
         self.lines: list[str] = []
         self._label = 0
         self._temp = 0
-        self.slots = [f"s{i}" for i in range(config.n_slots)]
+        #: Product of enclosing loop trip counts at the current
+        #: generation point, and the remaining call budget (see
+        #: :attr:`SyntheticConfig.call_budget`).
+        self.loop_scale = 1
+        self.call_budget = config.call_budget
+        self.gpr_slots = [f"s{i}" for i in range(config.n_slots)]
+        # PTR-class slots ride the same update machinery; the parser
+        # assigns RegClass.PTR to the ``p_`` prefix, so ABI assignment
+        # hands them P registers -- the register-class mix knob.
+        self.slots = self.gpr_slots \
+            + [f"p_q{i}" for i in range(config.n_ptr_slots)]
 
     # ------------------------------------------------------------------
     def fresh_label(self, base: str) -> str:
@@ -111,24 +191,37 @@ class _FunctionGen:
 
     # ------------------------------------------------------------------
     def region(self, depth: int) -> None:
+        """One statement region, drawn from the configured shape mix."""
+        config = self.config
         rng = self.rng
-        roll = rng.random()
-        if depth < self.config.max_depth and roll < self.config.loop_prob:
-            self.loop(depth)
-        elif depth < self.config.max_depth and \
-                roll < self.config.loop_prob + self.config.if_prob:
-            self.diamond(depth)
-        elif self.callees and rng.random() < self.config.call_prob:
-            self.call()
-        elif rng.random() < self.config.shuffle_prob:
-            self.shuffle()
-        else:
-            self.straight()
+        nested = depth < config.max_depth
+        choices: list[tuple[float, object]] = []
+        if nested:
+            choices.append((config.loop_prob, self.loop))
+            choices.append((config.if_prob, self.diamond))
+            choices.append((config.multiway_prob, self.multiway))
+            choices.append((config.irreducible_prob, self.irreducible))
+        if self.callees and self.call_budget >= self.loop_scale:
+            choices.append((config.call_prob, lambda _d: self.call()))
+        choices.append((config.shuffle_prob, lambda _d: self.shuffle()))
+        choices.append((config.mem_prob, lambda _d: self.mem()))
+        total = sum(weight for weight, _ in choices)
+        # Straight-line filler takes whatever probability mass remains
+        # (at least 5%, so no configuration can starve it entirely).
+        straight_weight = max(0.05, 1.0 - total)
+        choices.append((straight_weight, lambda _d: self.straight()))
+        roll = rng.random() * (total + straight_weight)
+        for weight, action in choices:
+            if roll < weight:
+                action(depth)
+                return
+            roll -= weight
+        self.straight()
 
     def straight(self) -> None:
         """A few slot updates; sometimes through tied 2-operand ops."""
         rng = self.rng
-        for _ in range(rng.randint(1, 3)):
+        for _ in range(self.config.scaled_updates(rng)):
             slot = rng.choice(self.slots)
             if rng.random() < self.config.tied_prob:
                 kind = rng.choice(["autoadd", "mac", "more"])
@@ -147,10 +240,13 @@ class _FunctionGen:
                           f"{self.operand()}")
 
     def shuffle(self) -> None:
-        """Swap two slots through a temp: the classic exchange that copy
-        propagation turns into a swap phi pair (paper Figure 10)."""
+        """Rotate k slots through a temp: the classic exchange that copy
+        propagation turns into a swap phi pair (paper Figure 10); wider
+        rotations build the multi-node cycles where greedy coalescing
+        and parallel-copy sequentialization earn their keep."""
         rng = self.rng
-        k = 2
+        width = min(max(2, self.config.max_shuffle_width), len(self.slots))
+        k = 2 if width == 2 else rng.randint(2, width)
         chosen = rng.sample(self.slots, k)
         t = self.fresh_temp()
         self.emit(f"copy {t}, {chosen[0]}")
@@ -158,10 +254,28 @@ class _FunctionGen:
             self.emit(f"copy {chosen[i]}, {chosen[i + 1]}")
         self.emit(f"copy {chosen[-1]}, {t}")
 
+    def mem(self) -> None:
+        """A store immediately followed by a load through the same
+        address slot: observable memory traffic (the interpreter's
+        equivalence check compares the store trace) that always reads
+        initialized memory."""
+        rng = self.rng
+        addr = rng.choice(self.slots)
+        value = rng.choice(self.slots)
+        dest = rng.choice(self.slots)
+        self.emit(f"store {addr}, {value}")
+        self.emit(f"load {dest}, {addr}")
+
     def call(self) -> None:
         rng = self.rng
+        self.call_budget -= self.loop_scale
         callee, arity = rng.choice(self.callees)
-        args = ", ".join(rng.choice(self.slots) for _ in range(arity))
+        # Arguments stay in the GPR class: callee parameters are
+        # GPR-typed, and the modeled ABI has no stack slots, so a
+        # PTR-heavy argument list would exhaust the (much smaller)
+        # pointer register pool (``Abi.assign`` raises, by design).
+        args = ", ".join(rng.choice(self.gpr_slots)
+                         for _ in range(arity))
         dest = rng.choice(self.slots)
         self.emit(f"call {dest} = {callee}({args})")
 
@@ -182,6 +296,60 @@ class _FunctionGen:
         self.emit(f"br {join_l}")
         self.label(join_l)
 
+    def multiway(self, depth: int) -> None:
+        """An n-way dispatch whose arms all merge at one join block:
+        the join collects one phi argument per arm for every updated
+        slot -- the wide-phi shape of switch-heavy code."""
+        rng = self.rng
+        ways = rng.randint(2, max(2, self.config.max_ways))
+        join_l = self.fresh_label("mjoin")
+        sel = self.fresh_temp()
+        self.emit(f"and {sel}, {rng.choice(self.slots)}, "
+                  f"{max(1, ways - 1)}")
+        for k in range(ways - 1):
+            cond = self.fresh_temp()
+            arm_l = self.fresh_label("marm")
+            next_l = self.fresh_label("mnext")
+            self.emit(f"cmpeq {cond}, {sel}, {k}")
+            self.emit(f"cbr {cond}, {arm_l}, {next_l}")
+            self.label(arm_l)
+            self.region(depth + 1)
+            self.emit(f"br {join_l}")
+            self.label(next_l)
+        self.region(depth + 1)  # default arm falls through to the join
+        self.emit(f"br {join_l}")
+        self.label(join_l)
+
+    def irreducible(self, depth: int) -> None:
+        """A bounded two-entry loop: control enters the cycle either at
+        its head or in its middle, so the {head, mid} cycle has two
+        entry blocks -- an irreducible region no structured source would
+        produce, exactly the shape reducible-CFG shortcuts miss.  The
+        trip counter increments on every pass through ``mid``, so the
+        loop terminates from either entry."""
+        rng = self.rng
+        head_l = self.fresh_label("ihead")
+        mid_l = self.fresh_label("imid")
+        exit_l = self.fresh_label("iexit")
+        counter = self.fresh_temp()
+        entry_cond = self.fresh_temp()
+        loop_cond = self.fresh_temp()
+        trip = rng.randint(2, self.config.max_trip)
+        self.emit(f"make {counter}, 0")
+        self.emit(f"and {entry_cond}, {rng.choice(self.slots)}, 1")
+        self.emit(f"cbr {entry_cond}, {mid_l}, {head_l}")
+        self.loop_scale *= trip
+        self.label(head_l)
+        self.region(depth + 1)
+        self.emit(f"br {mid_l}")
+        self.label(mid_l)
+        self.region(depth + 1)
+        self.loop_scale //= trip
+        self.emit(f"add {counter}, {counter}, 1")
+        self.emit(f"cmplt {loop_cond}, {counter}, {trip}")
+        self.emit(f"cbr {loop_cond}, {head_l}, {exit_l}")
+        self.label(exit_l)
+
     def loop(self, depth: int) -> None:
         rng = self.rng
         head = self.fresh_label("head")
@@ -196,8 +364,10 @@ class _FunctionGen:
         self.emit(f"cmplt {c}, {i}, {trip}")
         self.emit(f"cbr {c}, {body}, {exit_l}")
         self.label(body)
+        self.loop_scale *= trip
         for _ in range(rng.randint(1, 2)):
             self.region(depth + 1)
+        self.loop_scale //= trip
         self.emit(f"add {i}, {i}, 1")
         self.emit(f"br {head}")
         self.label(exit_l)
@@ -213,29 +383,109 @@ def generate_function_source(seed: int, name: str, arity: int,
     return gen.generate()
 
 
+def module_signature(seed: int, n_functions: int,
+                     config: SyntheticConfig | None = None,
+                     name: str = "synthetic") -> list[tuple[str, int]]:
+    """The ``(name, arity)`` signature list of :func:`generate_module`
+    without generating any body -- arities are drawn from each
+    function's own ``(seed, index)`` stream, so the signature of
+    function *i* is independent of every other function."""
+    config = config or SyntheticConfig()
+    signature: list[tuple[str, int]] = []
+    for index in range(n_functions):
+        shape_rng = random.Random(derive_seed(seed, _STREAM_SHAPE, index))
+        arity = shape_rng.randint(1, max(1, config.max_arity))
+        signature.append((f"{name}_f{index}", arity))
+    return signature
+
+
+def generate_module_source(seed: int, n_functions: int = 6,
+                           config: SyntheticConfig | None = None,
+                           name: str = "synthetic") -> str:
+    """The LAI source text of a synthetic module (see
+    :func:`generate_module`)."""
+    config = config or SyntheticConfig()
+    signature = module_signature(seed, n_functions, config, name)
+    sources = []
+    for index, (fn_name, arity) in enumerate(signature):
+        # Call-graph tiers: function *i* may call earlier functions of a
+        # strictly lower tier (``index % 4``), so tier-0 functions are
+        # leaves and call chains are at most 4 deep -- bounded step
+        # counts even with calls nested in loops.  Unlike the old
+        # "first half are leaves" rule the tier depends only on the
+        # function's own index, so function *i* never changes because
+        # the module grew (the stability contract of
+        # :func:`derive_seed`).
+        tier = index % 4
+        callees = [sig for j, sig in enumerate(signature[:index])
+                   if j % 4 < tier]
+        sources.append(generate_function_source(
+            derive_seed(seed, _STREAM_BODY, index), fn_name, arity,
+            callees, config))
+    return "\n".join(sources)
+
+
+def verify_runs(seed: int, n_functions: int = 6,
+                config: SyntheticConfig | None = None,
+                name: str = "synthetic",
+                runs_per_function: int = 2) -> list[tuple[str, list[int]]]:
+    """The self-check ``(function, args)`` runs of a generated module,
+    derived per function -- stable under sibling additions, like the
+    bodies."""
+    config = config or SyntheticConfig()
+    verify: list[tuple[str, list[int]]] = []
+    for index, (fn_name, arity) in enumerate(
+            module_signature(seed, n_functions, config, name)):
+        run_rng = random.Random(derive_seed(seed, _STREAM_VERIFY, index))
+        for _ in range(runs_per_function):
+            verify.append(
+                (fn_name, [run_rng.randint(-5, 40) for _ in range(arity)]))
+    return verify
+
+
 def generate_module(seed: int, n_functions: int = 6,
                     config: SyntheticConfig | None = None,
                     name: str = "synthetic") -> tuple[Module, list]:
     """A module of synthetic functions plus verify runs.
 
-    The first half of the functions are leaves; later functions may
-    call earlier ones (no recursion, bounded call depth).
+    Functions may call earlier functions of strictly lower call-graph
+    tier only (no recursion, chains at most 4 deep).  Every
+    function's program text and verify arguments derive from
+    ``derive_seed(seed, stream, index)``: stable per ``(seed, index)``
+    regardless of ``n_functions`` or of randomness consumed by sibling
+    functions.
     """
-    rng = random.Random(seed)
     config = config or SyntheticConfig()
-    sources = []
-    signature: list[tuple[str, int]] = []
-    for index in range(n_functions):
-        fn_name = f"{name}_f{index}"
-        arity = rng.randint(1, 3)
-        callees = signature[: index] if index >= n_functions // 2 else []
-        sources.append(generate_function_source(
-            rng.randrange(1 << 30), fn_name, arity, callees, config))
-        signature.append((fn_name, arity))
-    module = parse_module("\n".join(sources), name=name)
-    verify = []
-    for fn_name, arity in signature:
-        for _ in range(2):
-            args = [rng.randint(-5, 40) for _ in range(arity)]
-            verify.append((fn_name, args))
-    return module, verify
+    module = parse_module(
+        generate_module_source(seed, n_functions, config, name), name=name)
+    return module, verify_runs(seed, n_functions, config, name)
+
+
+#: Named knob profiles the fuzzing harness cycles through -- each one
+#: leans on a different generator dimension (see docs/fuzzing.md).
+FUZZ_PROFILES: dict[str, SyntheticConfig] = {
+    "default": SyntheticConfig(),
+    "deep-loops": SyntheticConfig(
+        n_slots=5, n_regions=5, max_depth=4, loop_prob=0.55, if_prob=0.2,
+        tied_prob=0.3, max_trip=3),
+    "wide-merges": SyntheticConfig(
+        n_slots=6, n_regions=5, max_depth=2, loop_prob=0.15, if_prob=0.2,
+        multiway_prob=0.45, max_ways=5, phi_density=1.5),
+    "irreducible": SyntheticConfig(
+        n_slots=4, n_regions=5, max_depth=3, loop_prob=0.2, if_prob=0.2,
+        irreducible_prob=0.4, max_trip=3),
+    "swap-webs": SyntheticConfig(
+        n_slots=6, n_regions=6, max_depth=2, shuffle_prob=0.5,
+        max_shuffle_width=5, loop_prob=0.25, if_prob=0.2),
+    "abi-pressure": SyntheticConfig(
+        n_slots=5, n_regions=6, max_depth=2, call_prob=0.55, if_prob=0.3,
+        loop_prob=0.2, max_arity=4, tied_prob=0.35),
+    "class-mix": SyntheticConfig(
+        n_slots=3, n_ptr_slots=3, n_regions=6, max_depth=2,
+        mem_prob=0.25, loop_prob=0.3, if_prob=0.3, tied_prob=0.3),
+}
+
+
+def profile_config(profile: str) -> SyntheticConfig:
+    """A fresh copy of one named :data:`FUZZ_PROFILES` entry."""
+    return replace(FUZZ_PROFILES[profile])

@@ -432,6 +432,154 @@ def _perf_record(args, ledger) -> int:
     return 0
 
 
+def _parse_seed_range(text: str) -> range:
+    try:
+        lo, _, hi = text.partition(":")
+        result = range(int(lo), int(hi))
+    except ValueError:
+        raise SystemExit(f"error: bad --seed-range {text!r} "
+                         f"(expected A:B)")
+    if not result:
+        raise SystemExit(f"error: empty --seed-range {text!r}")
+    return result
+
+
+def cmd_fuzz(args) -> int:
+    from .fuzz import (ALL_CHECKS, check_module, divergence_predicate,
+                       load_regression, minimize, run_fuzz,
+                       write_regression)
+
+    if args.fuzz_command == "corpus":
+        from .fuzz import build_corpus, load_corpus
+
+        manifest = build_corpus(args.out, args.programs,
+                                n_functions=args.functions,
+                                profile=args.profile, seed0=args.seed0)
+        print(f"wrote {len(manifest['programs'])} programs "
+              f"({manifest['functions']} functions, profile "
+              f"{args.profile!r}) to {args.out}")
+        if args.replay:
+            bad = 0
+            for name, source, verify in load_corpus(args.out):
+                result = check_module(
+                    source, verify,
+                    checks=("roundtrip", "compositions"),
+                    experiments=["Lphi,ABI+C"], jobs=1)
+                for divergence in result.divergences:
+                    bad += 1
+                    print(f"{name}: {divergence.describe()}",
+                          file=sys.stderr)
+            print(f"replay: {bad} divergences")
+            return 1 if bad else 0
+        return 0
+
+    if args.fuzz_command == "minimize":
+        regression = load_regression(args.file)
+        if not regression.verify:
+            raise SystemExit(f"error: {args.file} has no '; verify:' "
+                             f"header lines")
+        divergence = None
+        if regression.check:
+            divergence = regression.divergence()
+        else:
+            found = check_module(regression.source, regression.verify)
+            if found.divergences:
+                divergence = found.divergences[0]
+        if divergence is None:
+            raise SystemExit("error: input does not reproduce any "
+                             "divergence; nothing to minimize")
+        predicate = divergence_predicate(divergence)
+        try:
+            shrunk = minimize(regression.source, regression.verify,
+                              predicate, max_checks=args.max_checks)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        out = args.out or args.file
+        write_regression(out, shrunk.source, shrunk.verify, divergence,
+                         description=regression.description
+                         or divergence.detail)
+        print(f"minimized to {shrunk.functions} function(s) / "
+              f"{shrunk.instructions} instruction(s) in {shrunk.checks} "
+              f"check(s) -> {out}")
+        return 0
+
+    # fuzz run
+    seeds = _parse_seed_range(args.seed_range)
+    profiles = args.profile or ["default"]
+    checks = tuple(args.checks.split(",")) if args.checks else ALL_CHECKS
+    for check in checks:
+        if check not in ALL_CHECKS:
+            raise SystemExit(f"error: unknown check {check!r} "
+                             f"(choose from {', '.join(ALL_CHECKS)})")
+    progress = {"programs": 0}
+
+    def tick(result) -> None:
+        progress["programs"] += 1
+        if args.verbose and progress["programs"] % 50 == 0:
+            print(f"  ... {progress['programs']} programs",
+                  file=sys.stderr)
+        for divergence in result.divergences:
+            print(f"seed {result.seed} [{result.profile}] "
+                  f"{divergence.describe()}", file=sys.stderr)
+
+    report = run_fuzz(seeds, profiles=profiles,
+                      n_functions=args.functions, checks=checks,
+                      jobs=args.jobs, max_seconds=args.max_seconds,
+                      on_result=tick)
+    for divergence in report.aggregate_violations:
+        print(divergence.describe(), file=sys.stderr)
+    print(report.summary())
+
+    written = []
+    if report.failures and args.out and not args.no_minimize:
+        os.makedirs(args.out, exist_ok=True)
+        seen = set()
+        for failure in report.failures:
+            for divergence in failure.divergences:
+                if divergence.key() in seen:
+                    continue
+                seen.add(divergence.key())
+                predicate = divergence_predicate(divergence)
+                try:
+                    shrunk = minimize(failure.source, failure.verify,
+                                      predicate)
+                except ValueError:
+                    continue  # flaky (e.g. time-dependent): keep as-is
+                name = (f"{failure.profile}_{failure.seed}_"
+                        f"{divergence.check}.lai").replace(",", "_")
+                path = os.path.join(args.out, name)
+                write_regression(path, shrunk.source, shrunk.verify,
+                                 divergence)
+                written.append(path)
+                print(f"minimized repro -> {path}", file=sys.stderr)
+
+    if args.stats_json:
+        document = {
+            "schema": "repro.fuzz-report/v1",
+            "seeds": report.seeds, "programs": report.programs,
+            "functions": report.functions,
+            "checks": list(report.checks),
+            "elapsed_s": round(report.elapsed, 3),
+            "timed_out": report.timed_out,
+            "move_totals": report.move_totals,
+            "aggregate_violations": [
+                {"composition": d.composition, "detail": d.detail}
+                for d in report.aggregate_violations],
+            "repros": written,
+            "failures": [
+                {"seed": f.seed, "profile": f.profile,
+                 "divergences": [
+                     {"check": d.check, "composition": d.composition,
+                      "kind": d.kind, "detail": d.detail}
+                     for d in f.divergences]}
+                for f in report.failures],
+        }
+        with open(args.stats_json, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+    return 0 if report.ok else 1
+
+
 def _add_ledger(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ledger", default=None, metavar="FILE",
                         help="append-only JSONL run ledger (default "
@@ -605,6 +753,80 @@ def build_parser() -> argparse.ArgumentParser:
                                "format; flag kept for clarity)")
     _add_ledger(export_p)
     export_p.set_defaults(fn=cmd_perf)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential fuzzing of the out-of-SSA pipelines "
+                     "(see docs/fuzzing.md)")
+    fuzz_sub = fuzz_p.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run_p = fuzz_sub.add_parser(
+        "run", help="sweep seeded programs through every composition")
+    fuzz_run_p.add_argument("--seed-range", default="0:100",
+                            metavar="A:B",
+                            help="half-open seed interval (default "
+                                 "0:100)")
+    fuzz_run_p.add_argument("--profile", action="append", default=None,
+                            metavar="NAME",
+                            help="generator profile (repeatable; 'all' "
+                                 "= every profile; default: default)")
+    fuzz_run_p.add_argument("--functions", type=int, default=3,
+                            metavar="N",
+                            help="functions per generated module "
+                                 "(default 3)")
+    fuzz_run_p.add_argument("--checks", default=None, metavar="LIST",
+                            help="comma-separated check subset "
+                                 "(default: all)")
+    fuzz_run_p.add_argument("--jobs", type=int, default=4, metavar="N",
+                            help="worker count for the parallel "
+                                 "byte-identity check (default 4)")
+    fuzz_run_p.add_argument("--max-seconds", type=float, default=None,
+                            metavar="S",
+                            help="time-box the sweep (finishes the "
+                                 "in-flight seed)")
+    fuzz_run_p.add_argument("--out", default=None, metavar="DIR",
+                            help="write minimized repro files for "
+                                 "failures into DIR")
+    fuzz_run_p.add_argument("--no-minimize", action="store_true",
+                            help="report failures without shrinking "
+                                 "them")
+    fuzz_run_p.add_argument("--stats-json", default=None, metavar="FILE",
+                            help="write a repro.fuzz-report/v1 JSON "
+                                 "summary")
+    fuzz_run_p.add_argument("-v", "--verbose", action="store_true",
+                            help="progress heartbeat on stderr")
+    fuzz_run_p.set_defaults(fn=cmd_fuzz)
+
+    fuzz_min_p = fuzz_sub.add_parser(
+        "minimize", help="delta-debug a repro file down to its core")
+    fuzz_min_p.add_argument("file",
+                            help="repro .lai with '; verify:' headers "
+                                 "(and ideally '; check:' provenance)")
+    fuzz_min_p.add_argument("-o", "--out", default=None, metavar="FILE",
+                            help="write the minimized repro here "
+                                 "(default: in place)")
+    fuzz_min_p.add_argument("--max-checks", type=int, default=600,
+                            metavar="N",
+                            help="predicate-evaluation budget "
+                                 "(default 600)")
+    fuzz_min_p.set_defaults(fn=cmd_fuzz)
+
+    fuzz_corpus_p = fuzz_sub.add_parser(
+        "corpus", help="generate a reproducible program corpus")
+    fuzz_corpus_p.add_argument("--out", required=True, metavar="DIR")
+    fuzz_corpus_p.add_argument("--programs", type=int, default=100,
+                               metavar="N")
+    fuzz_corpus_p.add_argument("--functions", type=int, default=5,
+                               metavar="N",
+                               help="functions per program (default 5)")
+    fuzz_corpus_p.add_argument("--profile", default="default",
+                               metavar="NAME")
+    fuzz_corpus_p.add_argument("--seed0", type=int, default=0,
+                               metavar="K",
+                               help="first seed (default 0)")
+    fuzz_corpus_p.add_argument("--replay", action="store_true",
+                               help="compile + verify every program "
+                                    "after writing it")
+    fuzz_corpus_p.set_defaults(fn=cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,228 @@
+"""Self-contained repro files and bulk corpora.
+
+Repro / regression file format -- plain LAI prefixed with structured
+comment headers, so the file replays with zero out-of-band state:
+
+.. code-block:: text
+
+    ; fuzz regression: coalescer dropped a swap on the back edge
+    ; seed: 4211  profile: swap-webs
+    ; check: compositions  composition: Lphi,ABI+C  kind: behaviour
+    ; verify: f0 3 -1
+    ; verify: f1 7
+    func f0
+    ...
+
+``verify`` lines repeat, one per interpreter run (function name then
+integer arguments).  Everything after the header block is the program.
+Files committed under ``tests/corpus_regressions/`` are replayed by the
+tier-1 suite through *every* check (:func:`replay_regression`), so a
+fixed bug stays fixed under all compositions, not just the one that
+originally failed.
+
+Bulk corpora (:func:`build_corpus`) are directories of generated ``.lai``
+programs plus a ``manifest.json`` carrying the verify runs -- the input
+of the throughput benchmark suite and of ``repro fuzz corpus``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..benchgen.synthetic import (SyntheticConfig, generate_module_source,
+                                  profile_config, verify_runs)
+from .differential import (ALL_CHECKS, Divergence, SeedResult,
+                           check_module)
+
+#: Manifest schema tag of a generated corpus directory.
+CORPUS_SCHEMA = "repro.fuzz-corpus/v1"
+
+
+@dataclass
+class Regression:
+    """One parsed repro file."""
+
+    source: str
+    verify: list
+    description: str = ""
+    check: str = ""
+    composition: str = ""
+    kind: str = ""
+    seed: int = -1
+    profile: str = ""
+    path: str = ""
+
+    def divergence(self) -> Divergence:
+        """The recorded failure, for a targeted re-check."""
+        return Divergence(self.check or "compositions", self.composition,
+                          self.kind or "behaviour", self.description,
+                          self.seed, self.profile)
+
+
+def write_regression(path: str | os.PathLike, source: str,
+                     verify: Sequence[tuple[str, Sequence[int]]],
+                     divergence: Optional[Divergence] = None,
+                     description: str = "") -> None:
+    """Write a self-contained repro file (see module docstring)."""
+    lines = []
+    note = description or (divergence.detail if divergence else "")
+    lines.append(f"; fuzz regression: {note}".rstrip())
+    if divergence is not None:
+        if divergence.seed >= 0 or divergence.profile:
+            lines.append(f"; seed: {divergence.seed}  "
+                         f"profile: {divergence.profile}")
+        lines.append(f"; check: {divergence.check}  "
+                     f"composition: {divergence.composition}  "
+                     f"kind: {divergence.kind}")
+    for fn_name, args in verify:
+        arg_text = " ".join(str(a) for a in args)
+        lines.append(f"; verify: {fn_name} {arg_text}".rstrip())
+    body = source if source.endswith("\n") else source + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n" + body)
+
+
+def _header_fields(text: str) -> dict[str, str]:
+    """``key: value`` pairs of one ``; key: v  key: v`` header line."""
+    fields = {}
+    parts = [chunk for chunk in text.split("  ") if chunk.strip()]
+    for chunk in parts:
+        if ":" in chunk:
+            key, _, value = chunk.partition(":")
+            fields[key.strip()] = value.strip()
+    return fields
+
+
+def load_regression(path: str | os.PathLike) -> Regression:
+    """Parse a repro file written by :func:`write_regression` (or by
+    hand, following the same convention)."""
+    regression = Regression(source="", verify=[], path=os.fspath(path))
+    body: list[str] = []
+    in_header = True
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if in_header and stripped.startswith(";"):
+                text = stripped.lstrip("; ")
+                if text.startswith("fuzz regression:"):
+                    regression.description = \
+                        text.partition(":")[2].strip()
+                elif text.startswith("verify:"):
+                    parts = text.partition(":")[2].split()
+                    if parts:
+                        regression.verify.append(
+                            (parts[0], [int(a) for a in parts[1:]]))
+                else:
+                    fields = _header_fields(text)
+                    regression.check = fields.get("check",
+                                                  regression.check)
+                    regression.composition = fields.get(
+                        "composition", regression.composition)
+                    regression.kind = fields.get("kind", regression.kind)
+                    regression.profile = fields.get("profile",
+                                                    regression.profile)
+                    if "seed" in fields:
+                        try:
+                            regression.seed = int(fields["seed"])
+                        except ValueError:
+                            pass
+                continue
+            if stripped:
+                in_header = False
+            body.append(line)
+    regression.source = "".join(body)
+    return regression
+
+
+def replay_regression(path: str | os.PathLike,
+                      checks: Sequence[str] = ALL_CHECKS,
+                      jobs: int = 2) -> SeedResult:
+    """Run a committed repro through the differential driver.
+
+    A fixed bug replays clean under *every* check; the returned
+    :attr:`SeedResult.divergences` must be empty for the regression
+    suite to pass.
+    """
+    regression = load_regression(path)
+    return check_module(regression.source, regression.verify,
+                        checks=checks, jobs=jobs,
+                        seed=regression.seed,
+                        profile=regression.profile)
+
+
+def iter_regressions(directory: str | os.PathLike) -> Iterator[str]:
+    """Paths of every ``.lai`` repro under *directory*, sorted."""
+    root = os.fspath(directory)
+    if not os.path.isdir(root):
+        return
+    for name in sorted(os.listdir(root)):
+        if name.endswith(".lai"):
+            yield os.path.join(root, name)
+
+
+# ----------------------------------------------------------------------
+# Bulk corpora
+# ----------------------------------------------------------------------
+def build_corpus(directory: str | os.PathLike,
+                 programs: int,
+                 n_functions: int = 5,
+                 profile: str = "default",
+                 seed0: int = 0,
+                 config: Optional[SyntheticConfig] = None) -> dict:
+    """Generate *programs* seeded modules into *directory* and write a
+    ``manifest.json``; returns the manifest.
+
+    Seeds run ``seed0 .. seed0+programs-1``; thanks to the generator's
+    per-``(seed, index)`` streams the corpus is fully reproducible and
+    stable under regeneration with a larger ``programs``.
+    """
+    root = os.fspath(directory)
+    os.makedirs(root, exist_ok=True)
+    config = config if config is not None else profile_config(profile)
+    entries = []
+    total_functions = 0
+    for offset in range(programs):
+        seed = seed0 + offset
+        name = f"corpus_{profile.replace('-', '_')}_{seed}"
+        source = generate_module_source(seed, n_functions, config, name)
+        verify = verify_runs(seed, n_functions, config, name)
+        filename = f"seed_{seed:06d}.lai"
+        with open(os.path.join(root, filename), "w",
+                  encoding="utf-8") as handle:
+            handle.write(source if source.endswith("\n")
+                         else source + "\n")
+        entries.append({"file": filename, "seed": seed, "name": name,
+                        "functions": n_functions,
+                        "verify": [[fn, list(args)]
+                                   for fn, args in verify]})
+        total_functions += n_functions
+    manifest = {"schema": CORPUS_SCHEMA, "profile": profile,
+                "n_functions": n_functions, "seed0": seed0,
+                "functions": total_functions, "programs": entries}
+    with open(os.path.join(root, "manifest.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+        handle.write("\n")
+    return manifest
+
+
+def load_corpus(directory: str | os.PathLike) \
+        -> Iterator[tuple[str, str, list]]:
+    """Yield ``(name, source, verify)`` for every program of a corpus
+    directory written by :func:`build_corpus`."""
+    root = os.fspath(directory)
+    with open(os.path.join(root, "manifest.json"),
+              encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(
+            f"not a fuzz corpus manifest: {manifest.get('schema')!r}")
+    for entry in manifest["programs"]:
+        with open(os.path.join(root, entry["file"]),
+                  encoding="utf-8") as handle:
+            source = handle.read()
+        verify = [(fn, list(args)) for fn, args in entry["verify"]]
+        yield entry["name"], source, verify

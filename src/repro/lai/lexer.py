@@ -20,11 +20,28 @@ from typing import Iterator
 
 
 class LaiSyntaxError(Exception):
-    """Lexical or syntactic error in LAI source."""
+    """Lexical or syntactic error in LAI source.
 
-    def __init__(self, message: str, line: int) -> None:
-        super().__init__(f"line {line}: {message}")
+    Carries a structured location so tooling (the fuzzing minimizer,
+    generator round-trip checks, editors) can point at the offending
+    source instead of re-parsing a bare message: ``line`` (1-based),
+    ``column`` (1-based, ``None`` when unknown) and ``token`` (the
+    offending token text, ``None`` when the error is not anchored to
+    one token).
+    """
+
+    def __init__(self, message: str, line: int,
+                 column: "int | None" = None,
+                 token: "str | None" = None) -> None:
+        where = f"line {line}" if column is None \
+            else f"line {line}, col {column}"
+        detail = f"{where}: {message}"
+        if token is not None and repr(token) not in message:
+            detail += f" (at {token!r})"
+        super().__init__(detail)
         self.line = line
+        self.column = column
+        self.token = token
 
 
 @dataclass(frozen=True)
@@ -32,9 +49,13 @@ class Token:
     kind: str
     text: str
     line: int
+    #: 1-based source column of the token's first character (0 for the
+    #: synthetic NEWLINE/EOF tokens, which have no source extent).
+    column: int = 0
 
     def __repr__(self) -> str:
-        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+        return (f"Token({self.kind}, {self.text!r}, "
+                f"line {self.line}, col {self.column})")
 
 
 _TOKEN_RE = re.compile(
@@ -53,6 +74,7 @@ _TOKEN_RE = re.compile(
 
 def tokenize(source: str) -> Iterator[Token]:
     """Yield tokens for *source*; NEWLINE between logical lines."""
+    last_line = 1
     for line_no, line in enumerate(source.splitlines(), start=1):
         pos = 0
         emitted = False
@@ -60,23 +82,26 @@ def tokenize(source: str) -> Iterator[Token]:
             match = _TOKEN_RE.match(line, pos)
             if match is None:
                 raise LaiSyntaxError(
-                    f"unexpected character {line[pos]!r}", line_no)
+                    f"unexpected character {line[pos]!r}", line_no,
+                    column=pos + 1, token=line[pos])
+            column = pos + 1
             pos = match.end()
             kind = match.lastgroup
             if kind in ("ws", "comment"):
                 continue
             text = match.group()
             if kind == "reg":
-                yield Token("REG", text[1:], line_no)
+                yield Token("REG", text[1:], line_no, column)
             elif kind == "num":
-                yield Token("NUM", text, line_no)
+                yield Token("NUM", text, line_no, column)
             elif kind == "ident":
-                yield Token("IDENT", text, line_no)
+                yield Token("IDENT", text, line_no, column)
             elif kind == "arrow":
-                yield Token("PUNCT", "<-", line_no)
+                yield Token("PUNCT", "<-", line_no, column)
             else:
-                yield Token("PUNCT", text, line_no)
+                yield Token("PUNCT", text, line_no, column)
             emitted = True
         if emitted:
             yield Token("NEWLINE", "", line_no)
-    yield Token("EOF", "", -1)
+        last_line = line_no
+    yield Token("EOF", "", last_line)

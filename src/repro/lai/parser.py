@@ -58,12 +58,18 @@ class Parser:
             self.pos += 1
         return token
 
+    def _error(self, message: str, token: Token) -> "LaiSyntaxError":
+        """A syntax error anchored at *token* (line, column, text)."""
+        return LaiSyntaxError(message, token.line,
+                              column=token.column or None,
+                              token=token.text or token.kind)
+
     def _expect(self, kind: str, text: Optional[str] = None) -> Token:
         token = self._next()
         if token.kind != kind or (text is not None and token.text != text):
             want = text or kind
-            raise LaiSyntaxError(
-                f"expected {want!r}, found {token.text!r}", token.line)
+            raise self._error(
+                f"expected {want!r}, found {token.text!r}", token)
         return token
 
     def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
@@ -87,10 +93,10 @@ class Parser:
             self._vars[name] = Var(name, regclass)
         return self._vars[name]
 
-    def _reg(self, name: str, line: int) -> PhysReg:
+    def _reg(self, name: str, token: Token) -> PhysReg:
         reg = self.target.registers.get(name)
         if reg is None:
-            raise LaiSyntaxError(f"unknown register {name!r}", line)
+            raise self._error(f"unknown register {name!r}", token)
         return reg
 
     def _parse_value(self) -> Value:
@@ -98,24 +104,23 @@ class Parser:
         if token.kind == "NUM":
             return Imm(int(token.text, 0))
         if token.kind == "REG":
-            return self._reg(token.text, token.line)
+            return self._reg(token.text, token)
         if token.kind == "IDENT":
             return self._var(token.text)
-        raise LaiSyntaxError(f"expected operand, found {token.text!r}",
-                             token.line)
+        raise self._error(f"expected operand, found {token.text!r}", token)
 
     def _parse_pin(self) -> Optional[Resource]:
         if not self._accept("PUNCT", "^"):
             return None
         token = self._next()
         if token.kind == "REG":
-            return self._reg(token.text, token.line)
+            return self._reg(token.text, token)
         if token.kind == "IDENT":
             if token.text in self.target.registers:
-                return self._reg(token.text, token.line)
+                return self._reg(token.text, token)
             return self._var(token.text)
-        raise LaiSyntaxError(f"expected pin target, found {token.text!r}",
-                             token.line)
+        raise self._error(f"expected pin target, found {token.text!r}",
+                          token)
 
     def _parse_operand(self, is_def: bool = False) -> Operand:
         value = self._parse_value()
@@ -150,7 +155,9 @@ class Parser:
         while True:
             token = self._peek()
             if token.kind == "EOF":
-                raise LaiSyntaxError("unterminated function", token.line)
+                raise self._error(
+                    f"unterminated function {self.function.name!r} "
+                    f"(missing 'endfunc')", token)
             if token.kind == "IDENT" and token.text == "endfunc":
                 self._next()
                 self._accept("NEWLINE")
@@ -181,7 +188,12 @@ class Parser:
         # "x = phi(...)" / "x = psi(...)" / "x^r = phi(...)"
         if token.kind == "IDENT" and token.text not in OPCODES \
                 and token.text != "call":
-            return self._parse_assignment()
+            after = self.tokens[self.pos + 1]
+            if after.kind == "PUNCT" and after.text in ("=", "^"):
+                return self._parse_assignment()
+            # Not assignment syntax: a mistyped mnemonic, reported as
+            # such instead of a puzzling "expected '='".
+            raise self._error(f"unknown opcode {token.text!r}", token)
         mnemonic = self._expect("IDENT")
         op = mnemonic.text
         if op == "call":
@@ -210,7 +222,7 @@ class Parser:
             defs = self._parse_operand_list(is_def=True)
             return Instruction("input", defs=defs)
         if op not in OPCODES:
-            raise LaiSyntaxError(f"unknown opcode {op!r}", mnemonic.line)
+            raise self._error(f"unknown opcode {op!r}", mnemonic)
         spec = OPCODES[op]
         operands = []
         offset = 0
@@ -237,9 +249,9 @@ class Parser:
             return self._parse_phi(dest)
         if op_token.text == "psi":
             return self._parse_psi(dest)
-        raise LaiSyntaxError(
+        raise self._error(
             f"only phi/psi use assignment syntax, found {op_token.text!r}",
-            op_token.line)
+            op_token)
 
     def _parse_phi(self, dest: Operand) -> Instruction:
         self._expect("PUNCT", "(")
@@ -278,7 +290,8 @@ class Parser:
         callee: Optional[str] = None
         token = self._peek()
         if token.kind != "IDENT":
-            raise LaiSyntaxError("malformed call", line)
+            raise self._error(
+                "malformed call: expected callee or result list", token)
         # Lookahead: IDENT '(' means no-result form.
         if (self.tokens[self.pos + 1].kind == "PUNCT"
                 and self.tokens[self.pos + 1].text == "("):

@@ -14,7 +14,12 @@ Two passes, both SSA-preserving:
 * :func:`propagate_copies` -- replace every use of ``d`` where
   ``d = copy s`` by ``s`` (transitively), leaving the copies dead.
   Pinned copy definitions are left alone: a pin is a renaming
-  constraint, not a value.
+  constraint, not a value.  Copies *between register classes* are
+  also left alone: a GPR<->PTR copy is a physical move between
+  register files, and forwarding through it would change the class
+  of every rewritten use (the fuzzer caught this overflowing the
+  two-register PTR argument pool at call sites --
+  ``tests/corpus_regressions/cross_class_copy_propagation.lai``).
 * :func:`eliminate_dead_code` -- remove side-effect-free instructions
   (including phis and the dead copies) whose definitions are unused,
   iterating to a fixpoint.
@@ -24,7 +29,15 @@ from __future__ import annotations
 
 from ..ir.function import Function
 from ..ir.instructions import Instruction, Operand
-from ..ir.types import Imm, Value, Var
+from ..ir.types import Imm, PhysReg, Value, Var
+
+
+def _same_class(dest: Var, src: Value) -> bool:
+    """Can a ``dest = copy src`` be folded without changing the
+    register class of rewritten uses?  Immediates carry no class."""
+    if isinstance(src, (Var, PhysReg)):
+        return src.regclass == dest.regclass
+    return True
 
 
 def propagate_copies(function: Function) -> int:
@@ -35,7 +48,9 @@ def propagate_copies(function: Function) -> int:
         for instr in block.body:
             if (instr.opcode == "copy" and instr.defs[0].pin is None
                     and instr.uses[0].pin is None
-                    and isinstance(instr.defs[0].value, Var)):
+                    and isinstance(instr.defs[0].value, Var)
+                    and _same_class(instr.defs[0].value,
+                                    instr.uses[0].value)):
                 forward[instr.defs[0].value] = instr.uses[0].value
 
     def resolve(value: Value) -> Value:

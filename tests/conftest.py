@@ -17,3 +17,28 @@ try:
     settings.load_profile("ci")
 except ImportError:  # pragma: no cover - hypothesis always present here
     pass
+
+import pytest  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz", action="store_true", default=False,
+        help="run the mass-scale differential fuzzing sweeps "
+             "(tests marked 'fuzz'; also enabled by REPRO_FUZZ=1)")
+
+
+def _fuzz_enabled(config) -> bool:
+    return bool(config.getoption("--fuzz")
+                or os.environ.get("REPRO_FUZZ"))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep tier-1 fast: ``fuzz``-marked sweeps only run on request."""
+    if _fuzz_enabled(config):
+        return
+    skip = pytest.mark.skip(
+        reason="mass fuzz sweep: pass --fuzz or set REPRO_FUZZ=1")
+    for item in items:
+        if "fuzz" in item.keywords:
+            item.add_marker(skip)

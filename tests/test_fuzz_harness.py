@@ -1,0 +1,224 @@
+"""The differential fuzzing harness (src/repro/fuzz/).
+
+Two layers of coverage:
+
+* **Tier-1 smoke** -- always on: a handful of seeds through every
+  check, the minimizer machinery on synthetic predicates, repro-file
+  and corpus round-trips.  Fast enough for the default test run.
+* **Mass sweeps** -- ``@pytest.mark.fuzz``, skipped unless ``--fuzz``
+  or ``REPRO_FUZZ=1``: the print->parse->print round-trip property and
+  the interpreter-equivalence property over >= 500 seeded programs
+  (the ISSUE's floor), cycling through every generator profile.
+"""
+
+import os
+
+import pytest
+
+from repro.benchgen.synthetic import (FUZZ_PROFILES, SyntheticConfig,
+                                      generate_module_source,
+                                      profile_config, verify_runs)
+from repro.fuzz import (ALL_CHECKS, Divergence, check_module, check_seed,
+                        build_corpus, divergence_predicate,
+                        load_corpus, load_regression, minimize,
+                        oracle_cross_check, run_fuzz, write_regression)
+from repro.interp import run_module
+from repro.ir.printer import format_module
+from repro.lai import parse_module
+
+#: Small-but-representative generator shape for smoke tests.
+SMOKE = SyntheticConfig(n_slots=4, n_regions=4, max_depth=2)
+
+
+def _program(seed, profile="default", n_functions=2, config=None):
+    config = config or profile_config(profile)
+    name = f"t_{profile.replace('-', '_')}_{seed}"
+    source = generate_module_source(seed, n_functions, config, name)
+    return source, verify_runs(seed, n_functions, config, name)
+
+
+# ----------------------------------------------------------------------
+# Tier-1 smoke
+# ----------------------------------------------------------------------
+def test_check_seed_clean_program_passes_every_check():
+    result = check_seed(0, "default", 2, config=SMOKE,
+                        checks=ALL_CHECKS, jobs=2)
+    assert result.ok, [d.describe() for d in result.divergences]
+    # every composition and variant produced a move count
+    assert set(result.moves) >= {"Lphi+C", "C", "naiveABI+C",
+                                 "Lphi,ABI+C[depth]"}
+
+
+def test_check_module_reports_unparseable_source():
+    result = check_module("func broken\n", [])
+    assert not result.ok
+    assert result.divergences[0].check == "roundtrip"
+    assert result.divergences[0].kind == "LaiSyntaxError"
+
+
+def test_check_module_reports_reference_failure():
+    # load from a never-written address: the reference interpretation
+    # itself fails, which the harness pins on the generator, not the
+    # pipeline.
+    source = ("func f\n"
+              "    input a\n"
+              "    load b, a\n"
+              "    ret b\n"
+              "endfunc\n")
+    result = check_module(source, [("f", [1234])],
+                          checks=("compositions",))
+    assert not result.ok
+    assert "reference run failed" in result.divergences[0].detail
+
+
+def test_run_fuzz_aggregates_and_time_boxes():
+    report = run_fuzz(range(2), profiles=("default",), n_functions=2,
+                      checks=("roundtrip", "compositions",
+                              "invariants"),
+                      experiments=("Lphi,ABI+C", "LABI+C",
+                                   "naiveABI+C", "Lphi+C", "C"),
+                      jobs=1)
+    assert report.seeds == 2 and report.programs == 2
+    assert report.move_totals.get("Lphi,ABI+C", 0) >= 0
+    boxed = run_fuzz(range(50), profiles=("default",), n_functions=1,
+                     checks=("roundtrip",), max_seconds=0.0)
+    assert boxed.timed_out and boxed.seeds == 1
+
+
+def test_oracle_cross_check_clean_on_generated_function():
+    source, _ = _program(7, n_functions=1, config=SMOKE)
+    module = parse_module(source)
+    for function in module.iter_functions():
+        assert oracle_cross_check(function) == []
+
+
+# ----------------------------------------------------------------------
+# Minimizer
+# ----------------------------------------------------------------------
+def test_minimize_shrinks_to_the_predicate_core():
+    # Failure predicate: "program still contains an xor" -- the
+    # minimizer must strip everything else (calls, loops, whole
+    # functions) and keep a parseable witness.
+    config = SyntheticConfig(n_slots=5, n_regions=6, max_depth=2,
+                             call_prob=0.3)
+    source, verify = _program(3, n_functions=3, config=config)
+    assert " xor " in source.replace("\n", " ")
+
+    def predicate(text, _verify):
+        parse_module(text)  # must stay well-formed
+        return "xor" in text
+
+    result = minimize(source, verify, predicate)
+    assert "xor" in result.source
+    assert result.functions == 1
+    before = sum(len(b.phis) + len(b.body)
+                 for f in parse_module(source).iter_functions()
+                 for b in f.iter_blocks())
+    assert result.instructions < before / 2
+    assert result.checks > 0 and result.accepted > 0
+
+
+def test_minimize_refuses_non_reproducing_input():
+    source, verify = _program(1, n_functions=1, config=SMOKE)
+    with pytest.raises(ValueError):
+        minimize(source, verify, lambda text, v: False)
+
+
+def test_minimize_respects_check_budget():
+    source, verify = _program(5, n_functions=3, config=SMOKE)
+    result = minimize(source, verify,
+                      lambda text, v: True, max_checks=5)
+    assert result.checks <= 5
+
+
+def test_divergence_predicate_false_on_healthy_program():
+    source, verify = _program(11, n_functions=2, config=SMOKE)
+    divergence = Divergence("compositions", "Lphi,ABI+C", "behaviour",
+                            "made up")
+    assert divergence_predicate(divergence, jobs=1)(source, verify) \
+        is False
+
+
+# ----------------------------------------------------------------------
+# Repro files and corpora
+# ----------------------------------------------------------------------
+def test_regression_file_round_trip(tmp_path):
+    source, verify = _program(9, n_functions=2, config=SMOKE)
+    divergence = Divergence("compositions", "Lphi,ABI+C", "behaviour",
+                            "f0 changed observable trace",
+                            seed=9, profile="default")
+    path = tmp_path / "repro.lai"
+    write_regression(path, source, verify, divergence)
+    loaded = load_regression(path)
+    assert loaded.source == source
+    assert loaded.verify == [(fn, list(args)) for fn, args in verify]
+    assert loaded.check == "compositions"
+    assert loaded.composition == "Lphi,ABI+C"
+    assert loaded.kind == "behaviour"
+    assert loaded.seed == 9 and loaded.profile == "default"
+    assert loaded.divergence().key() == divergence.key()
+    # the program inside replays bit-identically
+    assert format_module(parse_module(loaded.source)) \
+        == format_module(parse_module(source))
+
+
+def test_corpus_build_and_load(tmp_path):
+    manifest = build_corpus(tmp_path / "corpus", programs=3,
+                            n_functions=2, profile="default", seed0=10,
+                            config=SMOKE)
+    assert len(manifest["programs"]) == 3
+    programs = list(load_corpus(tmp_path / "corpus"))
+    assert len(programs) == 3
+    for name, source, verify in programs:
+        module = parse_module(source)
+        assert len(module.functions) == 2
+        for fn_name, args in verify:
+            run_module(module, fn_name, args)  # interpretable as-is
+
+
+def test_corpus_regeneration_is_stable(tmp_path):
+    first = build_corpus(tmp_path / "a", programs=2, n_functions=2,
+                         profile="default", seed0=0, config=SMOKE)
+    second = build_corpus(tmp_path / "b", programs=4, n_functions=2,
+                          profile="default", seed0=0, config=SMOKE)
+    for entry_a, entry_b in zip(first["programs"],
+                                second["programs"]):
+        with open(tmp_path / "a" / entry_a["file"]) as handle:
+            text_a = handle.read()
+        with open(tmp_path / "b" / entry_b["file"]) as handle:
+            text_b = handle.read()
+        assert text_a == text_b  # growing the corpus never rewrites
+
+
+# ----------------------------------------------------------------------
+# Mass sweeps (>= 500 programs each; --fuzz / REPRO_FUZZ=1 only)
+# ----------------------------------------------------------------------
+SWEEP_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "75"))
+PROFILES = tuple(FUZZ_PROFILES)  # 7 profiles x 75 seeds = 525 programs
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("profile", PROFILES)
+def test_mass_round_trip_property(profile):
+    """print -> parse -> print is a fixpoint on every seeded program."""
+    for seed in range(SWEEP_SEEDS):
+        source, _ = _program(seed, profile, n_functions=2)
+        printed = format_module(parse_module(source))
+        assert format_module(parse_module(printed)) == printed, \
+            (profile, seed)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("profile", PROFILES)
+def test_mass_interpreter_equivalence_property(profile):
+    """Every composition preserves the observable traces, and the
+    sweep respects the paper's aggregate move relations."""
+    report = run_fuzz(range(SWEEP_SEEDS), profiles=(profile,),
+                      n_functions=2,
+                      checks=("compositions", "variants", "invariants"),
+                      jobs=1)
+    assert report.ok, (
+        [d.describe() for f in report.failures
+         for d in f.divergences][:10]
+        + [d.describe() for d in report.aggregate_violations])
+    assert report.programs == SWEEP_SEEDS
