@@ -586,6 +586,16 @@ def _add_ledger(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_LEDGER, unset = no ledger)")
 
 
+def _add_interp(parser: argparse.ArgumentParser) -> None:
+    from .interp import TIERS
+
+    parser.add_argument("--interp", choices=TIERS, default=None,
+                        help="interpreter tier for verify runs "
+                             "(default $REPRO_INTERP or 'compiled'; "
+                             "'both' runs the reference tree-walker in "
+                             "lockstep and fails on any divergence)")
+
+
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for parallel compilation "
@@ -602,6 +612,7 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
                              "into the stats document's 'metrics' block "
                              "(also enabled by a non-empty "
                              "$REPRO_METRICS; zero overhead when off)")
+    _add_interp(parser)
     _add_ledger(parser)
 
 
@@ -647,6 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("file")
     run_p.add_argument("function")
     run_p.add_argument("args", nargs="*")
+    _add_interp(run_p)
     run_p.add_argument("--trace", action="store_true",
                        help="print stores/calls/step count to stderr")
     run_p.set_defaults(fn=cmd_run)
@@ -794,6 +806,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "summary")
     fuzz_run_p.add_argument("-v", "--verbose", action="store_true",
                             help="progress heartbeat on stderr")
+    _add_interp(fuzz_run_p)
     fuzz_run_p.set_defaults(fn=cmd_fuzz)
 
     fuzz_min_p = fuzz_sub.add_parser(
@@ -832,6 +845,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "interp", None):
+        # Through the environment rather than a threaded parameter so
+        # forked pool workers and the serve worker pool inherit the
+        # tier unchanged.
+        from .interp import INTERP_ENV
+
+        os.environ[INTERP_ENV] = args.interp
     return args.fn(args)
 
 

@@ -5,6 +5,10 @@ this program?" -- from a different angle:
 
 ``roundtrip``
     print -> parse -> print is a fixpoint of the LAI text format.
+``interp``
+    the compiled interpreter tier and the reference tree-walker agree
+    on every verify run -- identical ``(results, stores, calls)``
+    observables and step counts (:mod:`repro.interp` lockstep mode).
 ``compositions``
     every Table 2-4 experiment runs to completion, produces phi-free
     validated IR, and the reference interpreter observes the same
@@ -41,7 +45,7 @@ from ..analysis import AnalysisManager, KillRules, Liveness, SSAInterference
 from ..benchgen.synthetic import (FUZZ_PROFILES, SyntheticConfig,
                                   generate_module_source, profile_config,
                                   verify_runs)
-from ..interp import run_module
+from ..interp import InterpreterError, TierDivergence, run_module
 from ..ir.printer import format_module
 from ..ir.types import Var
 from ..lai import parse_module
@@ -49,8 +53,9 @@ from ..pipeline import (EXPERIMENTS, PhaseOptions, ensure_ssa,
                         run_experiment, table5_variants)
 
 #: Check names in execution order.
-ALL_CHECKS: tuple[str, ...] = ("roundtrip", "compositions", "variants",
-                               "invariants", "oracle", "parallel", "cache")
+ALL_CHECKS: tuple[str, ...] = ("roundtrip", "interp", "compositions",
+                               "variants", "invariants", "oracle",
+                               "parallel", "cache")
 
 #: Per-program move-count invariants asserted by the ``invariants``
 #: check, as ``(lhs, rhs)`` pairs meaning ``moves[lhs] <= moves[rhs]``.
@@ -308,6 +313,22 @@ def check_module(source: str, verify: Sequence[tuple[str, Sequence[int]]],
         report(Divergence("compositions", "", type(exc).__name__,
                           f"reference run failed: {exc}", seed, profile))
         return result
+
+    if "interp" in checks:
+        # Explicit lockstep run regardless of $REPRO_INTERP: the
+        # compiled tier must reproduce the tree-walker's observables
+        # and step counts on the source program.
+        for fn_name, fn_args in verify:
+            try:
+                run_module(module, fn_name, fn_args, tier="both")
+            except TierDivergence as exc:
+                report(Divergence("interp", "", "tier-mismatch",
+                                  str(exc), seed, profile))
+            except (InterpreterError, KeyError):
+                pass  # both tiers failed alike; the gate above vets this
+            except Exception as exc:  # noqa: BLE001 - compiler crash
+                report(Divergence("interp", "", type(exc).__name__,
+                                  str(exc) or "crash", seed, profile))
 
     anchor = None  # serial output of ANCHOR_COMPOSITION, for parallel/cache
     runs: list[tuple[str, str, Optional[PhaseOptions]]] = []

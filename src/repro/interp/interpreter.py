@@ -32,6 +32,14 @@ from ..ir.types import Imm, Value, wrap32
 from ..observability import resolve as _resolve_tracer
 
 
+#: Default global instruction budget of every interpreter entry point
+#: (:class:`Interpreter`, :func:`run_module`, :func:`run_function` and
+#: the compiled tier).  The synthetic generator's ``call_budget``
+#: bounds dynamic work against this same ceiling -- see
+#: :class:`repro.benchgen.synthetic.SyntheticConfig`.
+DEFAULT_MAX_STEPS = 2_000_000
+
+
 class InterpreterError(Exception):
     """Runtime error: undefined read, bad call, step limit, ..."""
 
@@ -86,7 +94,7 @@ class Interpreter:
         counters accumulate across runs.
     """
 
-    def __init__(self, module: Module, max_steps: int = 2_000_000,
+    def __init__(self, module: Module, max_steps: int = DEFAULT_MAX_STEPS,
                  on_block: Optional[Callable[[str, str], None]] = None,
                  tracer=None) -> None:
         self.module = module
@@ -269,7 +277,7 @@ class Interpreter:
 def run_module(module: Module, function_name: str,
                args: Sequence[int] = (),
                memory: Optional[dict[int, int]] = None,
-               max_steps: int = 2_000_000,
+               max_steps: int = DEFAULT_MAX_STEPS,
                on_block: Optional[Callable[[str, str], None]] = None,
                tracer=None) -> Trace:
     """Convenience wrapper: run one function of *module*."""
@@ -280,7 +288,7 @@ def run_module(module: Module, function_name: str,
 def run_function(function: Function, args: Sequence[int] = (),
                  memory: Optional[dict[int, int]] = None,
                  externals: Optional[dict[str, object]] = None,
-                 max_steps: int = 2_000_000,
+                 max_steps: int = DEFAULT_MAX_STEPS,
                  on_block: Optional[Callable[[str, str], None]] = None,
                  tracer=None) -> Trace:
     """Run a standalone function (wrapped in a throwaway module)."""

@@ -3,7 +3,7 @@
 Two document shapes are emitted by the CLI and the benchmark harness
 (see ``docs/observability.md`` for the field-by-field reference):
 
-``repro.stats/v1.5``
+``repro.stats/v1.6``
     One experiment run: totals, the per-phase breakdown (timing plus
     move/instruction/phi deltas per function), raw per-phase pass
     statistics, counters, the event count, the ``analysis_cache``
@@ -23,11 +23,16 @@ Two document shapes are emitted by the CLI and the benchmark harness
     :meth:`repro.observability.metrics.MetricsRegistry.snapshot` --
     counters, gauges and fixed-log-bucket latency histograms (bucket
     bounds + counts + sum/count + percentiles), merged element-wise
-    across workers in parallel runs.  Produced by
-    :meth:`repro.pipeline.ExperimentResult.to_stats`.  ``repro.stats/v1``
-    through ``v1.4`` documents (no ``parallel`` / ``analysis_cache`` /
-    oracle counters / ``cache`` / ``metrics`` block) remain valid
-    input.
+    across workers in parallel runs, and the optional ``interp`` block
+    (v1.6) describing the interpreter tier behind the run's verify
+    passes: the resolved ``tier`` (``compiled`` / ``reference`` /
+    ``both``; see :mod:`repro.interp`) and the compiled tier's
+    ``code_cache`` traffic (hits/misses/compile_ns, mirroring the
+    ``interp.code_cache.*`` / ``interp.compile_ns`` counters).
+    Produced by :meth:`repro.pipeline.ExperimentResult.to_stats`.
+    ``repro.stats/v1`` through ``v1.5`` documents (no ``parallel`` /
+    ``analysis_cache`` / oracle counters / ``cache`` / ``metrics`` /
+    ``interp`` block) remain valid input.
 
 ``repro.stats-collection/v1``
     ``{"schema": ..., "runs": [<stats doc>, ...]}`` -- many runs in one
@@ -48,7 +53,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-STATS_SCHEMA = "repro.stats/v1.5"
+STATS_SCHEMA = "repro.stats/v1.6"
 COLLECTION_SCHEMA = "repro.stats-collection/v1"
 
 #: Schemas consumers must accept: the current one plus every prior
@@ -57,10 +62,12 @@ COLLECTION_SCHEMA = "repro.stats-collection/v1"
 #: introduced in v1.2; v1.2 documents lack the oracle counters
 #: introduced in v1.3; v1.3 documents lack the ``cache`` block
 #: introduced in v1.4; v1.4 documents lack the ``metrics`` block
-#: introduced in v1.5).
+#: introduced in v1.5; v1.5 documents lack the ``interp`` block
+#: introduced in v1.6).
 ACCEPTED_STATS_SCHEMAS = ("repro.stats/v1", "repro.stats/v1.1",
                           "repro.stats/v1.2", "repro.stats/v1.3",
-                          "repro.stats/v1.4", "repro.stats/v1.5")
+                          "repro.stats/v1.4", "repro.stats/v1.5",
+                          "repro.stats/v1.6")
 
 #: The integer fields of the optional ``analysis_cache`` block.
 ANALYSIS_CACHE_KEYS = ("hits", "misses", "invalidations", "preserved")
@@ -72,11 +79,16 @@ ORACLE_CACHE_KEYS = ("oracle_hits", "oracle_misses")
 #: Schemas whose ``analysis_cache`` block must carry the oracle
 #: counters (they became part of the block in v1.3).
 _ORACLE_SCHEMAS = frozenset({"repro.stats/v1.3", "repro.stats/v1.4",
-                             "repro.stats/v1.5"})
+                             "repro.stats/v1.5", "repro.stats/v1.6"})
 
 #: The required integer fields of the optional ``cache`` block (v1.4):
 #: persistent compilation-cache traffic (see :mod:`repro.cache`).
 CACHE_BLOCK_KEYS = ("hits", "misses", "stores", "evictions", "bytes")
+
+#: The required integer fields of ``interp.code_cache`` in the optional
+#: ``interp`` block (v1.6): compiled-tier code-cache traffic (see
+#: :mod:`repro.interp.compiled`).
+INTERP_CODE_CACHE_KEYS = ("hits", "misses", "compile_ns")
 
 #: The required integer fields of the optional ``parallel`` block and
 #: of each of its ``shards[]`` entries.
@@ -180,6 +192,15 @@ def validate_stats(doc: Any, where: str = "$") -> None:
     metrics = doc.get("metrics")
     if metrics:  # optional; absent without a metrics registry (pre-v1.5)
         _validate_metrics(metrics, f"{where}.metrics")
+    interp = doc.get("interp")
+    if interp:  # optional; absent in untraced runs and pre-v1.6 docs
+        i_where = f"{where}.interp"
+        _expect(isinstance(interp, dict), i_where, "must be an object")
+        _expect(isinstance(interp.get("tier"), str), i_where,
+                "'tier' must be a string")
+        _validate_measures(interp.get("code_cache"),
+                           INTERP_CODE_CACHE_KEYS,
+                           f"{i_where}.code_cache")
 
 
 def _expect_number(value: Any, where: str, what: str) -> None:

@@ -8,9 +8,12 @@ exactly the documented non-deterministic fields so two documents can
 be compared for the promises that *do* hold:
 
 * the ``parallel`` block (worker pool shape and wall times);
-* the ``cache`` / ``analysis_cache`` blocks, the ``events`` count and
-  the ``analysis.*`` counters -- instrumentation *volume*, which varies
-  with cache temperature while decision counters must not;
+* the ``cache`` / ``analysis_cache`` / ``interp`` blocks, the
+  ``events`` count and the ``analysis.*`` / ``interp.code_cache.*`` /
+  ``interp.compile_ns`` counters -- instrumentation *volume* and cache
+  temperature (the interpreter's code cache is process-global, so its
+  traffic depends on what ran before), which vary while decision
+  counters must not;
 * the ``metrics`` block (v1.5) -- its histograms are wall-clock latency
   measurements and several of its counters mirror cache traffic;
 * per-phase ``seq`` / ``start_ns`` / ``duration_ns``.
@@ -34,7 +37,15 @@ TIMING_KEYS = ("seq", "start_ns", "duration_ns")
 #: effort* (pool shape, cache temperature, instrumentation volume)
 #: rather than its output.
 ENVIRONMENT_BLOCKS = ("parallel", "cache", "analysis_cache", "events",
-                      "metrics")
+                      "metrics", "interp")
+
+#: Counter-name prefixes describing effort or cache temperature rather
+#: than decisions: analysis traffic, interpreter code-cache traffic
+#: and compile time.  ``interp.runs`` / ``interp.steps`` /
+#: ``interp.block_entries`` are *not* here -- they are deterministic
+#: per run at every tier, job count and cache temperature.
+ENVIRONMENT_COUNTER_PREFIXES = ("analysis.", "interp.code_cache.",
+                                "interp.compile_ns")
 
 
 def strip_timing(document):
@@ -50,7 +61,7 @@ def strip_timing(document):
     if "counters" in document:
         document["counters"] = {
             name: value for name, value in document["counters"].items()
-            if not name.startswith("analysis.")}
+            if not name.startswith(ENVIRONMENT_COUNTER_PREFIXES)}
     phases = []
     for entry in document.get("phases", ()):
         entry = {k: v for k, v in entry.items() if k not in TIMING_KEYS}

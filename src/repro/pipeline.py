@@ -139,6 +139,18 @@ class ExperimentResult:
             document["cache"] = dict(self.cache)
         if self.metrics:
             document["metrics"] = self.metrics
+        if tracer.enabled:
+            from .interp import resolve_tier
+
+            counters = tracer.counters
+            document["interp"] = {
+                "tier": resolve_tier(),
+                "code_cache": {
+                    "hits": counters.get("interp.code_cache.hits", 0),
+                    "misses": counters.get("interp.code_cache.misses", 0),
+                    "compile_ns": counters.get("interp.compile_ns", 0),
+                },
+            }
         return document
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .interp.interpreter import Interpreter
+from .interp import run_module
 from .ir.function import Module
 
 
@@ -36,7 +36,7 @@ def profile_blocks(module: Module,
         counts[key] = counts.get(key, 0) + 1
 
     for fn_name, args in runs:
-        Interpreter(module, on_block=bump).run(fn_name, list(args))
+        run_module(module, fn_name, list(args), on_block=bump)
     return counts
 
 

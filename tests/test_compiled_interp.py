@@ -1,0 +1,316 @@
+"""Golden-trace equality between the interpreter tiers.
+
+The compiled tier (``src/repro/interp/compiled.py``) claims *exact*
+reference semantics: identical observables (results, stores, calls),
+identical step counts, equivalent error behaviour, under an epoch-keyed
+code cache that must never serve stale code.  Four layers of evidence:
+
+* **golden traces** -- every paper suite's verify runs, every minimized
+  fuzz regression in ``tests/corpus_regressions/``, and a seeded
+  multi-profile benchgen sweep replay identically on both tiers;
+* **error parity** -- undefined reads, the step budget, the call-depth
+  limit and unknown callees fail identically on both tiers;
+* **cache discipline** -- the code cache hits on unchanged functions
+  and recompiles on any epoch bump;
+* **lockstep** -- ``tier="both"`` raises :class:`TierDivergence` when a
+  tier misbehaves (simulated by swapping in a broken reference tier).
+
+The mass sweep at the bottom (``@pytest.mark.fuzz``, 300 seeds x every
+profile) is the acceptance run; tier-1 keeps a small slice of it.
+"""
+
+import os
+
+import pytest
+
+import repro.interp as interp_pkg
+from repro.benchgen import all_suites
+from repro.benchgen.synthetic import (FUZZ_PROFILES, generate_module,
+                                      profile_config)
+from repro.fuzz.corpus import iter_regressions, load_regression
+from repro.fuzz.differential import run_fuzz
+from repro.interp import (DEFAULT_MAX_STEPS, CompiledInterpreter,
+                          Interpreter, InterpreterError, TierDivergence,
+                          Trace, clear_code_cache, code_cache_size,
+                          run_module)
+from repro.interp.compiled import compile_function
+from repro.ir.types import Imm
+from repro.lai import parse_module
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus_regressions")
+
+
+def both_tiers(module, fn_name, args, max_steps=DEFAULT_MAX_STEPS):
+    """(reference outcome, compiled outcome); an outcome is a Trace or
+    the raised error."""
+    outcomes = []
+    for tier in (Interpreter, CompiledInterpreter):
+        try:
+            outcomes.append(tier(module, max_steps).run(
+                fn_name, list(args)))
+        except (InterpreterError, KeyError) as exc:
+            outcomes.append(exc)
+    return outcomes
+
+
+def assert_identical(module, fn_name, args, context,
+                     max_steps=DEFAULT_MAX_STEPS):
+    reference, compiled = both_tiers(module, fn_name, args, max_steps)
+    if isinstance(reference, Trace):
+        assert isinstance(compiled, Trace), \
+            f"{context}: compiled raised {compiled!r}, reference ran"
+        assert compiled.observable() == reference.observable(), context
+        assert compiled.steps == reference.steps, context
+    else:
+        # Which error fires may differ only when the step budget is in
+        # play (block-granular accounting can trip it first); any other
+        # failure must match message for message.
+        assert not isinstance(compiled, Trace), \
+            f"{context}: reference raised {reference!r}, compiled ran"
+        budget = "step limit exceeded"
+        if budget not in str(reference) and budget not in str(compiled):
+            assert type(compiled) is type(reference), context
+            assert str(compiled) == str(reference), context
+
+
+# ----------------------------------------------------------------------
+# Golden traces: paper suites, minimized regressions, benchgen sweep
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("suite", all_suites(), ids=lambda s: s.name)
+def test_paper_suites_identical_traces(suite):
+    for fn_name, args in suite.verify:
+        assert_identical(suite.module, fn_name, args,
+                         f"{suite.name}:{fn_name}{tuple(args)}")
+
+
+@pytest.mark.parametrize("path", sorted(iter_regressions(CORPUS_DIR)),
+                         ids=os.path.basename)
+def test_corpus_regressions_identical_traces(path):
+    regression = load_regression(path)
+    module = parse_module(regression.source)
+    assert regression.verify, path
+    for fn_name, args in regression.verify:
+        assert_identical(module, fn_name, args,
+                         f"{os.path.basename(path)}:{fn_name}")
+
+
+@pytest.mark.parametrize("profile", tuple(FUZZ_PROFILES))
+def test_benchgen_sweep_identical_traces(profile):
+    for seed in range(5):
+        module, verify = generate_module(
+            seed, n_functions=3, config=profile_config(profile),
+            name=f"sweep_{profile.replace('-', '_')}_{seed}")
+        for fn_name, args in verify:
+            assert_identical(module, fn_name, args,
+                             f"{profile}/{seed}:{fn_name}{tuple(args)}")
+
+
+# ----------------------------------------------------------------------
+# Error-path parity
+# ----------------------------------------------------------------------
+UNDEFINED_READ = """
+func main
+entry:
+    input n
+    cbr n, yes, no
+yes:
+    make x, 1
+    br join
+no:
+    br join
+join:
+    add y, x, 1
+    ret y
+endfunc
+"""
+
+INFINITE_LOOP = """
+func main
+entry:
+    input n
+    br spin
+spin:
+    add n, n, 1
+    br spin
+endfunc
+"""
+
+RECURSION = """
+func main
+entry:
+    input n
+    call t = main(n)
+    ret t
+endfunc
+"""
+
+UNKNOWN_CALLEE = """
+func main
+entry:
+    input n
+    call t = nowhere(n)
+    ret t
+endfunc
+"""
+
+
+def both_errors(source, args, max_steps=DEFAULT_MAX_STEPS):
+    module = parse_module(source)
+    reference, compiled = both_tiers(module, "main", args, max_steps)
+    assert isinstance(reference, (InterpreterError, KeyError)), reference
+    assert type(compiled) is type(reference)
+    assert str(compiled) == str(reference)
+    return reference
+
+
+def test_undefined_read_parity():
+    error = both_errors(UNDEFINED_READ, [0])
+    assert "read of undefined x in block join" in str(error)
+    # The defined path still runs, identically.
+    assert_identical(parse_module(UNDEFINED_READ), "main", [1], "defined")
+
+
+def test_step_limit_parity():
+    error = both_errors(INFINITE_LOOP, [0], max_steps=500)
+    assert str(error) == "step limit exceeded"
+
+
+def test_call_depth_parity():
+    error = both_errors(RECURSION, [0])
+    assert str(error) == "call depth exceeded"
+
+
+def test_unknown_callee_parity():
+    error = both_errors(UNKNOWN_CALLEE, [0])
+    assert str(error) == "call to unknown function 'nowhere'"
+
+
+def test_argument_count_parity():
+    error = both_errors(RECURSION.replace("main(n)", "main(n, n)"), [3])
+    assert str(error) == "main: expected 1 arguments, got 2"
+
+
+# ----------------------------------------------------------------------
+# Code cache: epoch keying
+# ----------------------------------------------------------------------
+def test_code_cache_hits_until_epoch_bump():
+    module = parse_module("func main\nentry:\n    input n\n"
+                          "    make x, 1\n    add y, x, n\n"
+                          "    ret y\nendfunc")
+    clear_code_cache()
+    interp = CompiledInterpreter(module)
+    function = module.functions["main"]
+    first = interp._code(function)
+    assert code_cache_size() == 1
+    assert interp._code(function) is first, "unchanged epoch must hit"
+
+    function.bump_epoch()
+    recompiled = interp._code(function)
+    assert recompiled is not first, "epoch bump must recompile"
+    assert code_cache_size() == 1, "stale entry replaced, not kept"
+
+    function.bump_cfg_epoch()
+    assert interp._code(function) is not recompiled
+
+
+def test_code_cache_never_serves_stale_code():
+    module = parse_module("func main\nentry:\n    make x, 1\n"
+                          "    ret x\nendfunc")
+    clear_code_cache()
+    assert run_module(module, "main", tier="compiled").results == (1,)
+    function = module.functions["main"]
+    make = next(i for b in function.iter_blocks() for i in b.body
+                if i.opcode == "make")
+    make.uses[0].value = Imm(7)
+    function.bump_epoch()
+    assert run_module(module, "main", tier="compiled").results == (7,)
+
+
+def test_compile_function_is_uncached():
+    module = parse_module("func main\nentry:\n    make x, 1\n"
+                          "    ret x\nendfunc")
+    function = module.functions["main"]
+    assert compile_function(function) is not compile_function(function)
+
+
+# ----------------------------------------------------------------------
+# Lockstep (tier="both") divergence detection
+# ----------------------------------------------------------------------
+def lockstep_module():
+    return parse_module("func main\nentry:\n    input n\n"
+                        "    add y, n, 1\n    ret y\nendfunc")
+
+
+def test_both_tier_agrees_on_clean_run():
+    trace = run_module(lockstep_module(), "main", [41], tier="both")
+    assert trace.results == (42,)
+
+
+class _WrongResult(Interpreter):
+    def run(self, *args, **kwargs):
+        trace = super().run(*args, **kwargs)
+        trace.results = tuple(r + 1 for r in trace.results)
+        return trace
+
+
+class _WrongSteps(Interpreter):
+    def run(self, *args, **kwargs):
+        trace = super().run(*args, **kwargs)
+        trace.steps += 1
+        return trace
+
+
+class _Crashes(Interpreter):
+    def run(self, *args, **kwargs):
+        raise InterpreterError("simulated reference failure")
+
+
+@pytest.mark.parametrize("broken,fragment", [
+    (_WrongResult, "compiled observed"),
+    (_WrongSteps, "steps"),
+    (_Crashes, "reference raised"),
+], ids=["observables", "steps", "error"])
+def test_both_tier_detects_divergence(monkeypatch, broken, fragment):
+    monkeypatch.setattr(interp_pkg, "Interpreter", broken)
+    with pytest.raises(TierDivergence, match=fragment):
+        run_module(lockstep_module(), "main", [41], tier="both")
+
+
+def test_both_raising_propagates_compiled_error():
+    with pytest.raises(InterpreterError,
+                       match="call to unknown function 'nowhere'"):
+        run_module(parse_module(UNKNOWN_CALLEE), "main", [0], tier="both")
+
+
+# ----------------------------------------------------------------------
+# Shared step budget (satellite: single DEFAULT_MAX_STEPS constant)
+# ----------------------------------------------------------------------
+def test_default_step_budget_is_shared():
+    import inspect
+
+    from repro.interp import interpreter as reference_mod
+
+    assert DEFAULT_MAX_STEPS == 2_000_000
+    for fn in (Interpreter.__init__, CompiledInterpreter.__init__,
+               interp_pkg.run_module, interp_pkg.run_function,
+               reference_mod.run_module, reference_mod.run_function):
+        assert inspect.signature(fn).parameters["max_steps"].default \
+            == DEFAULT_MAX_STEPS, fn
+
+
+# ----------------------------------------------------------------------
+# Mass sweep (acceptance: 300 seeds x every profile, zero divergences)
+# ----------------------------------------------------------------------
+SWEEP_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "300"))
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("profile", tuple(FUZZ_PROFILES))
+def test_mass_lockstep_property(profile):
+    """300 seeds per profile through the harness's ``interp`` check
+    (tier="both" on every verify run): zero divergences."""
+    report = run_fuzz(range(SWEEP_SEEDS), profiles=(profile,),
+                      n_functions=2, checks=("interp",), jobs=1)
+    assert report.ok, [d.describe() for f in report.failures
+                       for d in f.divergences][:10]
+    assert report.programs == SWEEP_SEEDS

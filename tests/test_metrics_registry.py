@@ -208,7 +208,7 @@ class TestPipelineDeterminism:
     def test_stats_document_validates(self, per_jobs):
         for _, (result, _) in per_jobs.items():
             doc = result.to_stats()
-            assert doc["schema"] == "repro.stats/v1.5"
+            assert doc["schema"] == "repro.stats/v1.6"
             validate_stats(doc)
 
     def test_tables_byte_identical_with_metrics(self):
